@@ -1,0 +1,16 @@
+"""Deco reproduction: decentralized aggregation of count-based windows.
+
+Python reproduction of *"Deco: Fast and Accurate Decentralized Aggregation
+of Count-based Windows in Large-scale IoT Applications"* (EDBT 2024).
+
+Public entry points:
+
+* :mod:`repro.core` — the Deco schemes and the high-level query API.
+* :mod:`repro.baselines` — Central, Scotty, Disco, and Approx comparators.
+* :mod:`repro.streams`, :mod:`repro.windows`, :mod:`repro.aggregates` —
+  the streaming substrates.
+* :mod:`repro.sim` — the discrete-event cluster simulator.
+* :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,31 @@
+"""Aggregation substrate: lift/combine/lower functions and classifications."""
+
+from repro.aggregates.algebraic import (Average, Moments, StdDev, SumCount,
+                                        Variance)
+from repro.aggregates.base import (AggregateFunction, Decomposability,
+                                   GrayKind, IncrementalAggregator)
+from repro.aggregates.distributive import Count, Max, Min, Sum
+from repro.aggregates.holistic import Median, Quantile
+from repro.aggregates.registry import (available_aggregates, get_aggregate,
+                                       register)
+
+__all__ = [
+    "AggregateFunction",
+    "IncrementalAggregator",
+    "GrayKind",
+    "Decomposability",
+    "Sum",
+    "Count",
+    "Min",
+    "Max",
+    "Average",
+    "Variance",
+    "StdDev",
+    "SumCount",
+    "Moments",
+    "Median",
+    "Quantile",
+    "get_aggregate",
+    "register",
+    "available_aggregates",
+]

@@ -1,0 +1,153 @@
+"""Aggregation function framework.
+
+Follows the two classifications the paper builds on (Section 2.3):
+
+* Gray et al. (Data Cube): *distributive* (sum, count, min), *algebraic*
+  (avg = sum/count), *holistic* (median, quantiles).
+* Jesus et al.: *(self-)decomposable* vs *non-decomposable*.  Decomposable
+  functions can split windows into slices, partially aggregate the slices,
+  and combine partials — the property every Deco scheme relies on.  For
+  non-decomposable functions Deco "performs centralized aggregation"
+  (footnote 2), which :mod:`repro.core` honours.
+
+Every function is expressed in lift / combine / lower form:
+``lower(combine(lift(s1), lift(s2), ...)) == aggregate(s1 + s2 + ...)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Any, Iterable
+
+from repro.errors import AggregationError
+from repro.streams.batch import EventBatch
+
+
+class GrayKind(enum.Enum):
+    """Gray et al.'s aggregation classes."""
+
+    DISTRIBUTIVE = "distributive"
+    ALGEBRAIC = "algebraic"
+    HOLISTIC = "holistic"
+
+
+class Decomposability(enum.Enum):
+    """Jesus et al.'s decomposability classes."""
+
+    SELF_DECOMPOSABLE = "self-decomposable"
+    DECOMPOSABLE = "decomposable"
+    NON_DECOMPOSABLE = "non-decomposable"
+
+
+class AggregateFunction(ABC):
+    """A window aggregation function in lift/combine/lower form.
+
+    Partial aggregates are opaque to callers; their concrete type is per
+    function (a float for sum, a ``(sum, count)`` pair for avg, a value
+    array for holistic functions).
+    """
+
+    #: Human-readable function name, also the registry key.
+    name: str = "abstract"
+    gray_kind: GrayKind = GrayKind.DISTRIBUTIVE
+    decomposability: Decomposability = Decomposability.SELF_DECOMPOSABLE
+
+    @property
+    def is_decomposable(self) -> bool:
+        """Whether partial aggregation on slices is allowed."""
+        return self.decomposability is not Decomposability.NON_DECOMPOSABLE
+
+    @abstractmethod
+    def identity(self) -> Any:
+        """The neutral partial (aggregate of zero events)."""
+
+    @abstractmethod
+    def lift(self, batch: EventBatch) -> Any:
+        """Partial aggregate of one batch of events (vectorized)."""
+
+    @abstractmethod
+    def combine(self, left: Any, right: Any) -> Any:
+        """Merge two partial aggregates."""
+
+    @abstractmethod
+    def lower(self, partial: Any) -> float:
+        """Extract the final result from a partial aggregate."""
+
+    # -- conveniences ------------------------------------------------------
+
+    def combine_all(self, partials: Iterable[Any]) -> Any:
+        """Fold :meth:`combine` over many partials."""
+        acc = self.identity()
+        for partial in partials:
+            acc = self.combine(acc, partial)
+        return acc
+
+    def aggregate(self, batch: EventBatch) -> float:
+        """Directly aggregate one batch (the centralized code path)."""
+        return self.lower(self.lift(batch))
+
+    def partial_size_bytes(self, partial: Any) -> int:
+        """Wire size of a partial aggregate.
+
+        Decomposable partials are a constant few scalars; holistic
+        partials carry the collected values.  Overridden by holistic
+        functions.
+        """
+        return 16
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class IncrementalAggregator:
+    """Running partial aggregate over an event slice.
+
+    This is the "incremental aggregation" the evaluation credits Scotty
+    and Deco with (Section 5.1): events are folded into the partial as
+    they arrive instead of being buffered until the window ends.
+    """
+
+    def __init__(self, fn: AggregateFunction):
+        self.fn = fn
+        self._partial = fn.identity()
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of events folded in so far."""
+        return self._count
+
+    @property
+    def partial(self) -> Any:
+        """The current partial aggregate."""
+        return self._partial
+
+    def add_batch(self, batch: EventBatch) -> None:
+        """Fold one batch into the running partial."""
+        if len(batch) == 0:
+            return
+        self._partial = self.fn.combine(self._partial, self.fn.lift(batch))
+        self._count += len(batch)
+
+    def merge(self, other: "IncrementalAggregator") -> None:
+        """Fold another aggregator's partial into this one."""
+        if other.fn is not self.fn and type(other.fn) is not type(self.fn):
+            raise AggregationError(
+                f"cannot merge {other.fn.name} into {self.fn.name}")
+        self._partial = self.fn.combine(self._partial, other._partial)
+        self._count += other._count
+
+    def merge_partial(self, partial: Any, count: int) -> None:
+        """Fold a raw partial (e.g. from a protocol message)."""
+        self._partial = self.fn.combine(self._partial, partial)
+        self._count += count
+
+    def result(self) -> float:
+        """The final aggregate of everything folded in so far."""
+        return self.fn.lower(self._partial)
+
+    def reset(self) -> None:
+        """Clear state for the next window."""
+        self._partial = self.fn.identity()
+        self._count = 0

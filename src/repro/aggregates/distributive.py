@@ -1,0 +1,96 @@
+"""Distributive aggregation functions: sum, count, min, max.
+
+Distributive functions "can perform partial aggregation on a sub-part of
+a dataset and then merge partial results" (Section 2.3); their partial is
+a single scalar.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.aggregates.base import (AggregateFunction, Decomposability,
+                                   GrayKind)
+from repro.streams.batch import EventBatch
+
+
+class Sum(AggregateFunction):
+    """Sum of event values — the function used throughout the evaluation."""
+
+    name = "sum"
+    gray_kind = GrayKind.DISTRIBUTIVE
+    decomposability = Decomposability.SELF_DECOMPOSABLE
+
+    def identity(self) -> float:
+        return 0.0
+
+    def lift(self, batch: EventBatch) -> float:
+        return float(np.sum(batch.values)) if len(batch) else 0.0
+
+    def combine(self, left: float, right: float) -> float:
+        return left + right
+
+    def lower(self, partial: float) -> float:
+        return partial
+
+
+class Count(AggregateFunction):
+    """Number of events."""
+
+    name = "count"
+    gray_kind = GrayKind.DISTRIBUTIVE
+    decomposability = Decomposability.SELF_DECOMPOSABLE
+
+    def identity(self) -> int:
+        return 0
+
+    def lift(self, batch: EventBatch) -> int:
+        return len(batch)
+
+    def combine(self, left: int, right: int) -> int:
+        return left + right
+
+    def lower(self, partial: int) -> float:
+        return float(partial)
+
+
+class Min(AggregateFunction):
+    """Minimum event value; the identity is +inf."""
+
+    name = "min"
+    gray_kind = GrayKind.DISTRIBUTIVE
+    decomposability = Decomposability.SELF_DECOMPOSABLE
+
+    def identity(self) -> float:
+        return math.inf
+
+    def lift(self, batch: EventBatch) -> float:
+        return float(np.min(batch.values)) if len(batch) else math.inf
+
+    def combine(self, left: float, right: float) -> float:
+        return left if left <= right else right
+
+    def lower(self, partial: float) -> float:
+        return partial
+
+
+class Max(AggregateFunction):
+    """Maximum event value; the identity is -inf."""
+
+    name = "max"
+    gray_kind = GrayKind.DISTRIBUTIVE
+    decomposability = Decomposability.SELF_DECOMPOSABLE
+
+    def identity(self) -> float:
+        return -math.inf
+
+    def lift(self, batch: EventBatch) -> float:
+        return float(np.max(batch.values)) if len(batch) else -math.inf
+
+    def combine(self, left: float, right: float) -> float:
+        return left if left >= right else right
+
+    def lower(self, partial: float) -> float:
+        return partial

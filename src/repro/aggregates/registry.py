@@ -1,0 +1,53 @@
+"""Registry mapping aggregation function names to implementations."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.aggregates.algebraic import Average, StdDev, Variance
+from repro.aggregates.base import AggregateFunction
+from repro.aggregates.distributive import Count, Max, Min, Sum
+from repro.aggregates.holistic import Median, Quantile
+from repro.errors import AggregationError
+
+_FACTORIES: Dict[str, Callable[[], AggregateFunction]] = {
+    "sum": Sum,
+    "count": Count,
+    "min": Min,
+    "max": Max,
+    "avg": Average,
+    "variance": Variance,
+    "stddev": StdDev,
+    "median": Median,
+}
+
+
+def register(name: str,
+             factory: Callable[[], AggregateFunction]) -> None:
+    """Register a user-defined aggregation function under ``name``."""
+    if name in _FACTORIES:
+        raise AggregationError(f"aggregate {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def get_aggregate(name: str) -> AggregateFunction:
+    """Instantiate the aggregation function registered under ``name``.
+
+    ``quantile(<q>)`` is recognised specially, e.g. ``quantile(0.9)``.
+    """
+    if name.startswith("quantile(") and name.endswith(")"):
+        try:
+            q = float(name[len("quantile("):-1])
+        except ValueError:
+            raise AggregationError(f"malformed quantile spec {name!r}")
+        return Quantile(q)
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise AggregationError(
+            f"unknown aggregate {name!r}; known: {sorted(_FACTORIES)}")
+
+
+def available_aggregates() -> List[str]:
+    """Names of all registered aggregation functions."""
+    return sorted(_FACTORIES)

@@ -1,0 +1,53 @@
+"""Disco: the distributed window aggregator, centralized for count windows.
+
+Disco [6] performs decentralized aggregation for *time-based* windows
+only; "Disco only performs decentralized aggregation for time-based
+windows and processes count-based windows with centralized aggregation.
+Compared to Scotty, Disco uses only one thread to receive, process, and
+send events" and "uses strings to send events and messages" (Section 5).
+
+Model: Scotty's incremental centralized pipeline, but
+
+* single-threaded root and locals (``threads = 1`` profile override),
+* string wire format (~3x bytes, Fig. 8a), and
+* per-event string parse/format CPU overhead on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from repro.baselines.scotty import ScottyLocal, ScottyRoot
+from repro.core.protocol import RawEvents, SourceBatch
+from repro.sim.node import NodeProfile, SimNode
+
+#: Extra CPU per event for formatting/parsing decimal strings.
+STRING_CODEC_FACTOR = 0.6
+
+
+def single_threaded(profile: NodeProfile) -> NodeProfile:
+    """Disco's profile: same hardware, one pipeline thread."""
+    return replace(profile, name=profile.name + "-1thread", threads=1)
+
+
+class DiscoLocal(ScottyLocal):
+    """Forwards raw events as strings from a single thread."""
+
+    def service_time(self, node: SimNode, msg: Any) -> float:
+        base = super().service_time(node, msg)
+        if isinstance(msg, SourceBatch):
+            base += (len(msg.events) * STRING_CODEC_FACTOR
+                     * node.profile.per_event_serialize_s())
+        return base
+
+
+class DiscoRoot(ScottyRoot):
+    """Single-threaded incremental aggregation over string messages."""
+
+    def service_time(self, node: SimNode, msg: Any) -> float:
+        base = super().service_time(node, msg)
+        if isinstance(msg, RawEvents):
+            base += (len(msg.events) * STRING_CODEC_FACTOR
+                     * node.profile.per_event_process_s())
+        return base

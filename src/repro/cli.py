@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro ...``.
+
+Subcommands:
+
+* ``schemes`` — list the registered schemes.
+* ``run`` — run one scheme and print its headline metrics.
+* ``compare`` — run several schemes over one workload and print a table.
+* ``experiment`` — regenerate one of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.api import ALL_SCHEMES, compare, run
+from repro.core.runner import available_schemes
+from repro.metrics.report import format_si, format_table
+
+#: Experiment name -> (headers, rows-callable(scale)).
+_EXPERIMENTS = {}
+
+
+def _register_experiments():
+    from repro.experiments import fig7, fig8, fig9, fig10, fig11, micro
+
+    def rate_sweep_rows(maker):
+        def rows(scale):
+            return maker(fig10.run_rate_change_sweep(scale))
+        return rows
+
+    def window_sweep_rows(maker, change=0.01):
+        def rows(scale):
+            return maker(fig10.run_window_size_sweep(scale, change))
+        return rows
+
+    adaptivity = ["rate change", "approx", "deco_mon", "deco_sync",
+                  "deco_async"]
+    windows = ["window size", "approx", "deco_mon", "deco_sync",
+               "deco_async"]
+    e2e = ["local nodes", "central", "scotty", "disco", "deco_async"]
+    _EXPERIMENTS.update({
+        "fig7a": (["approach", "throughput ev/s", "vs scotty"],
+                  fig7.rows_fig7a),
+        "fig7b": (["approach", "latency ms", "vs deco_async"],
+                  fig7.rows_fig7b),
+        "fig8a": (["approach", "total bytes", "saving vs central"],
+                  fig8.rows_fig8a),
+        "fig8b": (["local nodes", "central", "scotty", "disco",
+                   "deco_async"], fig8.rows_fig8b),
+        "fig9a": (e2e, fig9.rows_fig9a),
+        "fig9b": (e2e, fig9.rows_fig9b),
+        "micro": (["approach", "window cycle ms", "vs deco_mon"],
+                  micro.rows_micro),
+        "fig10a": (adaptivity, rate_sweep_rows(fig10.rows_fig10a)),
+        "fig10b": (adaptivity, rate_sweep_rows(fig10.rows_fig10b)),
+        "fig10c": (["rate change", "sync corr/100w", "async corr/100w"],
+                   rate_sweep_rows(fig10.rows_fig10c)),
+        "fig10d": (adaptivity, rate_sweep_rows(fig10.rows_fig10d)),
+        "fig10e": (windows, window_sweep_rows(fig10.rows_fig10e)),
+        "fig10f": (windows, window_sweep_rows(fig10.rows_fig10f, 0.5)),
+        "fig11a": (["approach", "throughput ev/s"], fig11.rows_fig11a),
+        "fig11bc": (["approach", "bandwidth MB/s", "latency ms"],
+                    fig11.rows_fig11bc),
+        "fig11d": (["raspberry pis", "central", "scotty", "disco",
+                    "deco_async"], fig11.rows_fig11d),
+    })
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deco (EDBT 2024) reproduction: decentralized "
+                    "count-window aggregation")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list registered schemes")
+
+    def add_run_args(p):
+        p.add_argument("--nodes", type=int, default=2,
+                       help="local node count")
+        p.add_argument("--window", type=int, default=10_000,
+                       help="global count window size")
+        p.add_argument("--windows", type=int, default=10,
+                       help="number of global windows")
+        p.add_argument("--rate", type=float, default=100_000,
+                       help="events/s per local node")
+        p.add_argument("--rate-change", type=float, default=0.01,
+                       help="rate-change fraction (0.01 = 1%%)")
+        p.add_argument("--aggregate", default="sum")
+        p.add_argument("--mode", choices=("throughput", "latency"),
+                       default="throughput")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--delta-m", type=int, default=4)
+        p.add_argument("--min-delta", type=int, default=4)
+
+    run_p = sub.add_parser("run", help="run one scheme")
+    run_p.add_argument("scheme")
+    add_run_args(run_p)
+
+    cmp_p = sub.add_parser("compare",
+                           help="run several schemes, same workload")
+    cmp_p.add_argument("schemes_list", nargs="+", metavar="scheme")
+    add_run_args(cmp_p)
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate a paper figure")
+    exp_p.add_argument("name", help="figure id, e.g. fig7a (or 'list')")
+    exp_p.add_argument("--scale", type=float, default=0.5,
+                       help="workload scale factor")
+    return parser
+
+
+def _run_kwargs(args) -> dict:
+    return dict(n_nodes=args.nodes, window_size=args.window,
+                n_windows=args.windows, rate_per_node=args.rate,
+                rate_change=args.rate_change, aggregate=args.aggregate,
+                mode=args.mode, seed=args.seed, delta_m=args.delta_m,
+                min_delta=args.min_delta)
+
+
+def _summary_row(name: str, summary) -> List[str]:
+    metric = (format_si(summary.throughput, " ev/s")
+              if summary.throughput is not None
+              else f"{summary.latency_s * 1e3:.3f} ms")
+    return [name, metric, format_si(summary.total_bytes, "B"),
+            f"{summary.correctness:.4f}",
+            str(summary.correction_steps)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "schemes":
+        import repro.baselines  # noqa: F401
+        import repro.core  # noqa: F401
+        for name in available_schemes():
+            print(name)
+        return 0
+
+    headers = ["scheme", "throughput/latency", "network", "correct",
+               "corrections"]
+    if args.command == "run":
+        summary = run(args.scheme, **_run_kwargs(args))
+        print(format_table(headers,
+                           [_summary_row(args.scheme, summary)]))
+        return 0
+
+    if args.command == "compare":
+        results = compare(args.schemes_list, **_run_kwargs(args))
+        print(format_table(headers,
+                           [_summary_row(n, s)
+                            for n, s in results.items()]))
+        return 0
+
+    if args.command == "experiment":
+        _register_experiments()
+        if args.name == "list":
+            for name in sorted(_EXPERIMENTS):
+                print(name)
+            return 0
+        if args.name not in _EXPERIMENTS:
+            print(f"unknown experiment {args.name!r}; try "
+                  f"'experiment list'", file=sys.stderr)
+            return 2
+        headers, rows_fn = _EXPERIMENTS[args.name]
+        print(f"== {args.name} (scale {args.scale}) ==")
+        print(format_table(headers, rows_fn(args.scale)))
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

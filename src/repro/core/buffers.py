@@ -1,0 +1,122 @@
+"""Position-addressed event buffers for local nodes and the root.
+
+Both sides of the protocol reason about *positions* in a node's stream:
+the local node tracks where each window/slice starts, the root tracks
+which raw positions it holds in its buffers.  ``PositionBuffer`` stores
+contiguous event runs addressed by absolute stream position, supports
+range extraction, and releases verified prefixes (the paper's bounded
+memory argument, Sections 4.3.1-4.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import WindowError
+from repro.streams.batch import EventBatch
+
+
+class PositionBuffer:
+    """Contiguous events of one stream, addressed by absolute position."""
+
+    def __init__(self, base: int = 0):
+        self._base = base  # absolute position of the first retained event
+        self._batches: List[EventBatch] = []
+        self._length = 0
+
+    # -- state --------------------------------------------------------------
+
+    @property
+    def base(self) -> int:
+        """Absolute position of the first retained event."""
+        return self._base
+
+    @property
+    def end(self) -> int:
+        """Absolute position one past the last retained event."""
+        return self._base + self._length
+
+    @property
+    def retained(self) -> int:
+        """Number of events currently held (memory bound check)."""
+        return self._length
+
+    # -- mutation --------------------------------------------------------------
+
+    def append(self, batch: EventBatch) -> None:
+        """Append events arriving in stream order."""
+        if len(batch) == 0:
+            return
+        self._batches.append(batch)
+        self._length += len(batch)
+
+    def insert_at(self, position: int, batch: EventBatch) -> None:
+        """Append events known to start at absolute ``position``.
+
+        The root uses this when buffer messages carry their span: runs
+        must stay contiguous (the protocol ships contiguous ranges).
+        """
+        if len(batch) == 0:
+            return
+        if position != self.end:
+            raise WindowError(
+                f"non-contiguous insert at {position}, buffer ends at "
+                f"{self.end}")
+        self.append(batch)
+
+    def release_before(self, position: int) -> int:
+        """Drop events before absolute ``position``; returns #dropped.
+
+        Mirrors watermark-driven eviction: once a window is verified,
+        everything before its end is dropped.
+        """
+        if position <= self._base:
+            return 0
+        drop = min(position - self._base, self._length)
+        remaining = drop
+        while remaining > 0 and self._batches:
+            head = self._batches[0]
+            if len(head) <= remaining:
+                remaining -= len(head)
+                self._batches.pop(0)
+            else:
+                self._batches[0] = head.drop(remaining)
+                remaining = 0
+        self._base += drop
+        self._length -= drop
+        return drop
+
+    # -- access ----------------------------------------------------------------
+
+    def get_range(self, start: int, end: int) -> EventBatch:
+        """Events at absolute positions ``[start, end)``.
+
+        Raises :class:`WindowError` when the range is not fully held —
+        callers must check :attr:`end` (availability) first.
+        """
+        if start < self._base:
+            raise WindowError(
+                f"range start {start} precedes buffer base {self._base} "
+                f"(already released)")
+        if end > self.end:
+            raise WindowError(
+                f"range end {end} beyond available {self.end}")
+        if end <= start:
+            return EventBatch.empty()
+        parts: List[EventBatch] = []
+        offset = self._base
+        need_start, need_end = start, end
+        for batch in self._batches:
+            batch_end = offset + len(batch)
+            if batch_end > need_start and offset < need_end:
+                lo = max(0, need_start - offset)
+                hi = min(len(batch), need_end - offset)
+                parts.append(batch.slice_range(lo, hi))
+            offset = batch_end
+            if offset >= need_end:
+                break
+        return EventBatch.concat(parts)
+
+    def has_range(self, start: int, end: int) -> bool:
+        """Whether ``[start, end)`` is fully buffered right now."""
+        return start >= self._base and end <= self.end

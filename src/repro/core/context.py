@@ -1,0 +1,47 @@
+"""Shared run context wiring a scheme's behaviours together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import Query
+from repro.core.records import RunResult
+from repro.core.workload import Workload
+from repro.sim.serialization import WireFormat
+
+
+@dataclass
+class SchemeContext:
+    """Everything the root and local behaviours of one run share.
+
+    The context carries the query, the workload (whose boundary table
+    stands in for the paper's exact boundary-resolution mechanism — see
+    :mod:`repro.core.workload`), the wire format, and the accumulating
+    :class:`RunResult`.
+    """
+
+    query: Query
+    workload: Workload
+    result: RunResult
+    fmt: WireFormat = WireFormat.BINARY
+    #: Retransmission timeout (seconds) for the failure model of
+    #: Section 4.3.4; ``None`` disables timeouts (reliable fabric).
+    #: When set, blocked nodes re-send their last message after this
+    #: long without progress, recovering from dropped messages and
+    #: transient crashes.
+    retransmit_timeout_s: float = None
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of local nodes."""
+        return self.workload.n_nodes
+
+    @property
+    def window_size(self) -> int:
+        """The global window size ``l_global``."""
+        return self.workload.window_size
+
+    @property
+    def n_windows(self) -> int:
+        """How many global windows this run emits."""
+        return self.workload.n_windows

@@ -1,0 +1,540 @@
+"""Deco_async: the asynchronous prediction scheme (Section 4.2.3).
+
+Local nodes never block.  Each speculative local window is split into a
+front buffer (``Delta`` raw events), a slice (``l-hat - 2 * Delta``
+events, aggregated), and an end buffer (``Delta`` raw events,
+Eq. 9-10); the node ships all three in one up-flow and immediately
+starts the next window with the same parameters, adopting fresh
+``(l-hat, Delta)`` whenever a root assignment arrives.
+
+The root stores every received front/end buffer in a per-node
+:class:`~repro.core.segments.SegmentStore` — the *previous* and
+*current root buffers* of Algorithm 5.  A window whose actual end
+overruns its end buffer is completed by the *next* speculative window's
+front buffer once that report arrives; a window whose actual end lies
+inside the next window's *slice* is unrecoverable from raw events and
+triggers the correction step.  Verification is Eq. 14-15 realized as
+per-node containment checks (the root has per-node actual sizes,
+Section 4.3.2).
+
+On a misprediction the root bumps the *epoch*: speculative reports at
+or after the failed window are discarded, local nodes roll back to the
+failed window's actual boundary, recompute, and resume once fresh
+parameters arrive — "once the prediction is wrong, Deco_async has to
+recalculate all windows after the wrong one, which affects throughput
+significantly" (Section 5.2).
+
+Windows 0-1 bootstrap centrally and window 2 runs synchronously, like
+Deco_sync ("the first three global windows are processed similarly to
+Deco_sync").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.buffers import PositionBuffer
+from repro.core.context import SchemeContext
+from repro.core.deco_sync import BOOTSTRAP_WINDOWS
+from repro.core.local import LocalBehaviorBase
+from repro.core.prediction import PREDICTORS
+from repro.core.protocol import (CorrectionReport, CorrectionRequest,
+                                 FrontBuffer, LocalWindowReport, Message,
+                                 RawEvents, ResendRequest,
+                                 WindowAssignment)
+from repro.core.root import ReportCollector, RootBehaviorBase
+from repro.core.segments import SegmentStore
+from repro.core.slicing import AsyncLayout, async_layout, sync_layout
+from repro.core.verification import async_global_check
+from repro.sim.node import SimNode
+
+#: Windows 0..SYNC_WINDOW-1 bootstrap centrally; window SYNC_WINDOW is
+#: handled sync-style; speculation starts after it.
+SYNC_WINDOW = BOOTSTRAP_WINDOWS  # window index 2
+
+#: How many windows a local node may speculate beyond the newest root
+#: assignment it has adopted.  Local nodes have bounded memory (they
+#: "can store a window of up to 1 million events", Section 3) and must
+#: retain unverified events for potential rollback, so speculation depth
+#: is capped; it also bounds how stale the reused (l-hat, Delta) can get.
+MAX_SPECULATION_AHEAD = 4
+
+
+class DecoAsyncLocal(LocalBehaviorBase):
+    """Local node of Deco_async: speculate, never block."""
+
+    def __init__(self, index: int, ctx: SchemeContext):
+        super().__init__(index, ctx)
+        self._forwarded = 0
+        self._bootstrapping = True
+        self.epoch = 0
+        #: Parameters adopted from the root: (valid-from-window, l-hat,
+        #: delta); None right after a rollback (the correction step's
+        #: fresh assignment restarts speculation).
+        self._params: Optional[Tuple[int, int, int]] = None
+        #: Next speculative window index and its start position.
+        self._next_window = SYNC_WINDOW
+        self._position = -1
+        #: The sync-style window-2 assignment, if pending.
+        self._sync_assignment = None
+        self._correction: Optional[Tuple[int, int, int]] = None
+        #: Whether the current speculative window's front buffer has
+        #: already been shipped, and the layout frozen for that window.
+        self._fb_sent = False
+        self._window_layout = None
+
+    # -- event arrival ---------------------------------------------------------
+
+    def retention_budget(self) -> int:
+        if self._bootstrapping:
+            # Forwarding phase: windows 0-2 are coordinated centrally.
+            return self.bootstrap_budget(SYNC_WINDOW + 1)
+        return super().retention_budget()
+
+    def on_events(self, node: SimNode) -> None:
+        if self._bootstrapping:
+            self._forward_bootstrap(node)
+            return
+        self._try_correct(node)
+        self._try_sync_window(node)
+        self._speculate(node)
+
+    def _forward_bootstrap(self, node: SimNode) -> None:
+        batch = self.buffer.get_range(self._forwarded, self.available)
+        if len(batch):
+            self.send_up(node, RawEvents(sender=node.name,
+                                         window_index=-1, events=batch,
+                                         start=self._forwarded))
+            self._forwarded = self.available
+
+    # -- control -------------------------------------------------------------------
+
+    def handle_control(self, node: SimNode, msg: Message) -> None:
+        if isinstance(msg, WindowAssignment):
+            if msg.epoch < self.epoch:
+                return  # stale pre-rollback assignment
+            self._bootstrapping = False
+            self.apply_watermark(msg.watermark)
+            if msg.release_before >= 0:
+                self.buffer.release_before(msg.release_before)
+            if msg.window_index == SYNC_WINDOW:
+                self._sync_assignment = (
+                    msg.window_index, msg.start_position,
+                    sync_layout(msg.predicted_size, msg.delta))
+                self._try_sync_window(node)
+                return
+            # Speculative parameters for windows >= msg.window_index.
+            if (self._params is None
+                    or msg.window_index > self._params[0]):
+                self._params = (msg.window_index, msg.predicted_size,
+                                msg.delta)
+            if msg.start_position >= 0 and \
+                    msg.window_index == self._next_window:
+                self._position = msg.start_position
+            self._speculate(node)
+        elif isinstance(msg, CorrectionRequest):
+            # Roll back: discard local speculation state, recompute the
+            # failed window from its actual boundary, and wait for fresh
+            # parameters before speculating again.
+            self.epoch = msg.epoch
+            self._correction = (msg.window_index, msg.start_position,
+                                msg.actual_size)
+            self._sync_assignment = None
+            self._params = None
+            self.apply_watermark(msg.watermark)
+            self._try_correct(node)
+        elif isinstance(msg, ResendRequest):
+            if self._bootstrapping:
+                self._forwarded = min(self._forwarded,
+                                      msg.from_position)
+                self._forward_bootstrap(node)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"Deco_async local got {type(msg).__name__}")
+
+    # -- the sync-style window 2 ------------------------------------------------------
+
+    def _try_sync_window(self, node: SimNode) -> None:
+        if self._sync_assignment is None:
+            return
+        window, start, layout = self._sync_assignment
+        if self.available < start + layout.total:
+            return
+        self._sync_assignment = None
+        slice_end = start + layout.slice_size
+        partial = self.lift_range(start, slice_end)
+        self.send_up(node, LocalWindowReport(
+            sender=node.name, window_index=window, epoch=self.epoch,
+            partial=partial, slice_count=layout.slice_size,
+            event_rate=self.take_rate(),
+            buffer=self.buffer.get_range(slice_end,
+                                         slice_end + layout.buffer_size),
+            spec_start=start))
+        # Speculation begins with the next window, once the root's first
+        # async assignment provides its verified start position.
+        self._next_window = window + 1
+
+    # -- speculation (Algorithm 4) ----------------------------------------------------
+
+    def _speculate(self, node: SimNode) -> None:
+        if (self._params is None or self._position < 0
+                or self._correction is not None
+                or self._sync_assignment is not None):
+            return
+        while True:
+            params_window, predicted, delta = self._params
+            if self._next_window > params_window + MAX_SPECULATION_AHEAD:
+                return  # bounded memory: wait for fresher assignments
+            # Freeze the layout when the window starts: adopting new
+            # parameters between the front buffer and the report would
+            # tear a hole in the window's raw coverage.
+            if self._window_layout is None:
+                self._window_layout = async_layout(predicted, delta)
+            layout = self._window_layout
+            if layout.total == 0:
+                self._window_layout = None
+                return
+            start = self._position
+            fb_end = start + layout.fbuffer_size
+            # Ship the front buffer the moment it fills: it may complete
+            # the previous window's tail at the root.
+            if not self._fb_sent and layout.fbuffer_size > 0:
+                if self.available < fb_end:
+                    return
+                self.send_up(node, FrontBuffer(
+                    sender=node.name, window_index=self._next_window,
+                    epoch=self.epoch, spec_start=start,
+                    events=self.buffer.get_range(start, fb_end)))
+                self._fb_sent = True
+            if self.available < start + layout.total:
+                return
+            slice_end = fb_end + layout.slice_size
+            cover_end = start + layout.total
+            partial = self.lift_range(fb_end, slice_end)
+            self.send_up(node, LocalWindowReport(
+                sender=node.name, window_index=self._next_window,
+                epoch=self.epoch, partial=partial,
+                slice_count=layout.slice_size,
+                event_rate=self.take_rate(),
+                ebuffer=self.buffer.get_range(slice_end, cover_end),
+                spec_start=start, slice_start=fb_end))
+            self._position = cover_end
+            self._next_window += 1
+            self._fb_sent = False
+            self._window_layout = None
+
+    # -- correction --------------------------------------------------------------------
+
+    def _try_correct(self, node: SimNode) -> None:
+        if self._correction is None:
+            return
+        window, start, actual = self._correction
+        if self.available < start + actual:
+            return
+        self._correction = None
+        end = start + actual
+        self.ctx.result.recomputed_events += actual
+        last_event = (self.buffer.get_range(end - 1, end) if actual > 0
+                      else self.buffer.get_range(end, end))
+        epoch = self.epoch
+
+        def send(partial):
+            self.send_up(node, CorrectionReport(
+                sender=node.name, window_index=window, epoch=epoch,
+                partial=partial, count=actual, last_event=last_event))
+
+        # Recomputing the window span is real (wasted) work.
+        self.aggregate_then(node, start, end, send)
+        # Resume speculation from the corrected boundary once fresh
+        # parameters arrive (the correction step's follow-up assignment).
+        self._position = end
+        self._next_window = window + 1
+        self._fb_sent = False
+        self._window_layout = None
+
+
+class DecoAsyncRoot(RootBehaviorBase):
+    """Root of Deco_async: verify speculative windows, roll back on
+    mispredictions (Algorithm 5)."""
+
+    def __init__(self, ctx: SchemeContext):
+        super().__init__(ctx)
+        self.raw = [PositionBuffer() for _ in range(self.n_nodes)]
+        self.reports = ReportCollector(self.n_nodes)
+        self.corrections = ReportCollector(self.n_nodes)
+        predictor_cls = PREDICTORS[ctx.query.predictor]
+        self.predictors = [
+            predictor_cls(m=ctx.query.delta_m,
+                          min_delta=ctx.query.min_delta)
+            for _ in range(self.n_nodes)]
+        self.epoch = 0
+        #: Per-node raw coverage (the previous + current root buffers).
+        self.stores: Dict[int, SegmentStore] = {}
+        #: Sync-style assignment bookkeeping for window 2.
+        self._sync_assigned: Dict[int, Tuple[int, int, int]] = {}
+        self._correcting: Optional[int] = None
+        #: Highest window whose front buffer arrived, per node.
+        self._fb_seen: Dict[int, int] = {}
+        #: Once the sync assignment goes out, late bootstrap raw events
+        #: are merely discarded (cheap), not aggregated.
+        self._bootstrap_done = False
+        #: The last Eq. 14-15 global check, for inspection/tests.
+        self.last_global_check = None
+
+    # -- dispatch -------------------------------------------------------------
+
+    def service_time(self, node: SimNode, msg: Message) -> float:
+        if isinstance(msg, RawEvents) and self._bootstrap_done:
+            # Stale bootstrap forwardings after the switch to
+            # decentralized mode: dequeue and drop, no aggregation.
+            return (node.profile.message_overhead_s
+                    + 0.05 * len(msg.events)
+                    * node.profile.per_event_process_s())
+        return super().service_time(node, msg)
+
+    def handle(self, node: SimNode, msg: Message) -> None:
+        if isinstance(msg, RawEvents):
+            if self._bootstrap_done:
+                return  # late bootstrap forwardings; dropped
+            a = self.node_index(msg.sender)
+            if not self.ingest_positioned_raw(node, msg, self.raw[a]):
+                return
+            node.account_events(len(msg.events))
+            self._try_emit_bootstrap(node)
+        elif isinstance(msg, FrontBuffer):
+            if msg.epoch < self.epoch:
+                return
+            a = self.node_index(msg.sender)
+            self.stores[a].insert(msg.spec_start, msg.events)
+            self._fb_seen[a] = max(self._fb_seen.get(a, -1),
+                                   msg.window_index)
+            self._progress(node)
+        elif isinstance(msg, LocalWindowReport):
+            if msg.epoch < self.epoch:
+                return  # speculative report from before a rollback
+            a = self.node_index(msg.sender)
+            if msg.window_index > SYNC_WINDOW:
+                # End-buffer events are usable the moment they arrive,
+                # whatever window they were speculated for.
+                if msg.ebuffer is not None and len(msg.ebuffer):
+                    self.stores[a].insert(
+                        msg.slice_start + msg.slice_count, msg.ebuffer)
+            self.reports.add(msg.window_index, a, msg)
+            self._progress(node)
+        elif isinstance(msg, CorrectionReport):
+            if msg.epoch < self.epoch:
+                return
+            self.corrections.add(msg.window_index,
+                                 self.node_index(msg.sender), msg)
+            self._try_finish_correction(node)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"Deco_async root got {type(msg).__name__}")
+
+    def _progress(self, node: SimNode) -> None:
+        if self._correcting is not None:
+            return
+        if self.next_emit == SYNC_WINDOW:
+            self._try_verify_sync(node)
+        while (self._correcting is None
+               and SYNC_WINDOW < self.next_emit < self.ctx.n_windows
+               and self.reports.complete(self.next_emit)):
+            if not self._verify_async(node):
+                return
+
+    # -- bootstrap (windows 0-1) -------------------------------------------------
+
+    def _try_emit_bootstrap(self, node: SimNode) -> None:
+        while self.next_emit < min(BOOTSTRAP_WINDOWS,
+                                   self.ctx.n_windows):
+            g = self.next_emit
+            spans = self.actual_spans(g)
+            if not all(self.raw[a].end >= end
+                       for a, (_, end) in spans.items()):
+                return
+            partial = self.fn.identity()
+            for a, (start, end) in spans.items():
+                partial = self.fn.combine(
+                    partial,
+                    self.fn.lift(self.raw[a].get_range(start, end)))
+                self.predictors[a].observe(end - start)
+            last = g == BOOTSTRAP_WINDOWS - 1 or \
+                g == self.ctx.n_windows - 1
+            self.emit(node, g, self.fn.lower(partial), spans,
+                      up_flows=1, down_flows=0,
+                      after=(lambda: self._send_sync_assignment(node))
+                      if last else None)
+
+    # -- window 2, sync-style -----------------------------------------------------
+
+    def _send_sync_assignment(self, node: SimNode) -> None:
+        g = self.next_emit
+        self._bootstrap_done = True
+        if g >= self.ctx.n_windows or g != SYNC_WINDOW:
+            return
+        watermark = self.watermark.current
+        for a in range(self.n_nodes):
+            predicted, delta = self.predictors[a].predict()
+            start = int(self.workload.bounds[g, a])
+            self._sync_assigned[a] = (start, predicted, delta)
+        self.broadcast(node, lambda a: WindowAssignment(
+            sender="root", window_index=g, epoch=self.epoch,
+            predicted_size=self._sync_assigned[a][1],
+            delta=self._sync_assigned[a][2],
+            start_position=self._sync_assigned[a][0],
+            release_before=self._sync_assigned[a][0],
+            watermark=watermark))
+
+    def _try_verify_sync(self, node: SimNode) -> None:
+        from repro.core.verification import sync_prediction_ok
+        g = SYNC_WINDOW
+        if g >= self.ctx.n_windows or not self.reports.complete(g):
+            return
+        reports = self.reports.pop(g)
+        ok = all(
+            sync_prediction_ok(self.workload.actual_size(g, a),
+                               self._sync_assigned[a][1],
+                               self._sync_assigned[a][2])
+            for a in range(self.n_nodes))
+        if not ok:
+            self.result.prediction_errors += 1
+            self._start_correction(node, g)
+            return
+        partial = self.fn.identity()
+        for a in sorted(reports):
+            report = reports[a]
+            start = self._sync_assigned[a][0]
+            slice_end = start + report.slice_count
+            _, actual_end = self.workload.span(g, a)
+            partial = self.fn.combine(partial, report.partial)
+            needed = report.buffer.take(actual_end - slice_end)
+            if len(needed):
+                partial = self.fn.combine(partial, self.fn.lift(needed))
+            self.predictors[a].observe(actual_end - start)
+            # Speculation starts at the verified boundary.
+            self.stores[a] = SegmentStore(base=actual_end)
+        self.emit(node, g, self.fn.lower(partial), self.actual_spans(g),
+                  up_flows=1, down_flows=1,
+                  after=lambda: self._send_async_assignment(
+                      node, first=True))
+
+    # -- speculative verification (Algorithm 5) --------------------------------------
+
+    def _send_async_assignment(self, node: SimNode,
+                               first: bool = False) -> None:
+        g = self.next_emit
+        if g >= self.ctx.n_windows:
+            return
+        watermark = self.watermark.current
+        params = {}
+        for a in range(self.n_nodes):
+            predicted, delta = self.predictors[a].predict()
+            params[a] = (predicted, delta)
+        start_positions = {
+            a: int(self.workload.bounds[g, a]) if first else -1
+            for a in range(self.n_nodes)}
+        release = {a: int(self.stores[a].base)
+                   for a in range(self.n_nodes)}
+        self.broadcast(node, lambda a: WindowAssignment(
+            sender="root", window_index=g, epoch=self.epoch,
+            predicted_size=params[a][0], delta=params[a][1],
+            start_position=start_positions[a],
+            release_before=release[a], watermark=watermark))
+
+    def _verify_async(self, node: SimNode) -> bool:
+        """Verify window ``next_emit``.
+
+        Returns False when verification must wait for more reports (the
+        window's tail may live in the next window's front buffer, which
+        has not arrived yet).  Emits or starts a correction otherwise.
+        """
+        g = self.next_emit
+        reports = self.reports.get(g)
+        ok = True
+        must_wait = False
+        root_slice = prev_buf = cur_buf = 0
+        for a in range(self.n_nodes):
+            report = reports[a]
+            slice_start = report.slice_start
+            slice_end = slice_start + report.slice_count
+            cover_end = slice_end + len(report.ebuffer or ())
+            s_a, e_a = self.workload.span(g, a)
+            root_slice += report.slice_count
+            prev_buf += slice_start - self.stores[a].base
+            cur_buf += len(report.ebuffer or ())
+            if s_a > slice_start or slice_end > e_a:
+                ok = False  # the slice leaks outside the actual window
+                continue
+            if e_a > cover_end:
+                # The actual end overruns the end buffer: the missing
+                # events sit at the front of the next speculative window.
+                # Its front buffer (shipped eagerly) absorbs the overrun
+                # — that is what the front buffer is for; only if the
+                # overrun reaches into the next window's *slice* is the
+                # prediction unrecoverable (Eq. 15 violation).
+                if self.stores[a].covers(cover_end, e_a):
+                    continue
+                next_arrived = (self._fb_seen.get(a, -1) > g
+                                or a in self.reports.get(g + 1))
+                if next_arrived:
+                    ok = False  # overran past the next front buffer
+                else:
+                    must_wait = True
+        self.last_global_check = async_global_check(
+            self.ctx.window_size, root_slice, prev_buf, cur_buf)
+        if ok and must_wait:
+            return False
+        if not ok:
+            self.result.prediction_errors += 1
+            self.reports.drop_at_or_after(g)
+            self._start_correction(node, g)
+            return True
+        partial = self.fn.identity()
+        for a in sorted(reports):
+            report = reports[a]
+            slice_start = report.slice_start
+            slice_end = slice_start + report.slice_count
+            s_a, e_a = self.workload.span(g, a)
+            head = self.stores[a].get_range(s_a, slice_start)
+            if len(head):
+                partial = self.fn.combine(partial, self.fn.lift(head))
+            partial = self.fn.combine(partial, report.partial)
+            tail = self.stores[a].get_range(slice_end, e_a)
+            if len(tail):
+                partial = self.fn.combine(partial, self.fn.lift(tail))
+            self.stores[a].release_before(e_a)
+            self.predictors[a].observe(e_a - s_a)
+        self.reports.pop(g)
+        self.emit(node, g, self.fn.lower(partial), self.actual_spans(g),
+                  up_flows=1, down_flows=1,
+                  after=lambda: self._send_async_assignment(node))
+        return True
+
+    # -- correction (Section 4.3.2) -----------------------------------------------------
+
+    def _start_correction(self, node: SimNode, window: int) -> None:
+        self.epoch += 1
+        self._correcting = window
+        spans = self.actual_spans(window)
+        watermark = self.watermark.current
+        self.broadcast(node, lambda a: CorrectionRequest(
+            sender="root", window_index=window, epoch=self.epoch,
+            actual_size=spans[a][1] - spans[a][0],
+            start_position=spans[a][0], watermark=watermark))
+
+    def _try_finish_correction(self, node: SimNode) -> None:
+        g = self._correcting
+        if g is None or not self.corrections.complete(g):
+            return
+        self._correcting = None
+        reports = self.corrections.pop(g)
+        partial = self.fn.combine_all(
+            r.partial for _, r in sorted(reports.items()))
+        spans = self.actual_spans(g)
+        self._fb_seen = {}
+        for a in range(self.n_nodes):
+            self.predictors[a].observe(spans[a][1] - spans[a][0])
+            # Locals resume from the actual boundary; no carried raw.
+            self.stores[a] = SegmentStore(base=spans[a][1])
+        self.emit(node, g, self.fn.lower(partial), spans,
+                  corrected=True, up_flows=2, down_flows=2,
+                  after=lambda: self._send_async_assignment(node))
+        self._progress(node)

@@ -1,0 +1,155 @@
+"""Local window size prediction (Section 4.2.2, Algorithm 1).
+
+The root predicts the next local window size of node ``a`` as the actual
+size of the previous window (Eq. 1) and derives a *delta* from the last
+two actual sizes (Eq. 2):
+
+    l-hat_{a,Gi}  = l_{a,Gi-1}
+    Delta_{a,Gi}  = | l_{a,Gi-1} - l_{a,Gi-2} |
+
+When consecutive windows are nearly equal the raw delta collapses to
+zero and even slight rate changes would break predictions, so the paper
+records the delta of every window and averages the last ``m`` (the user
+parameter controlling how aggressively Deco adapts).  Section 6 notes
+fancier predictors as future work; we provide two extras
+(:class:`MovingAveragePredictor`, :class:`LinearTrendPredictor`) for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def predict_next(previous: int) -> int:
+    """Eq. 1: the predicted size is the previous actual size."""
+    return previous
+
+
+def raw_delta(previous: int, before_previous: int) -> int:
+    """Eq. 2: absolute difference of the last two actual sizes."""
+    return abs(previous - before_previous)
+
+
+class DeltaSmoother:
+    """Average of the last ``m`` raw deltas (Section 4.2.2).
+
+    Large ``m`` keeps the delta steady; small ``m`` makes it react to
+    every change.  ``min_delta`` optionally floors the delta so that the
+    buffer never fully vanishes.
+    """
+
+    def __init__(self, m: int = 1, min_delta: int = 0):
+        if m < 1:
+            raise ConfigurationError(f"m must be >= 1, got {m}")
+        if min_delta < 0:
+            raise ConfigurationError(
+                f"min_delta must be >= 0, got {min_delta}")
+        self.m = m
+        self.min_delta = min_delta
+        self._deltas: Deque[int] = deque(maxlen=m)
+
+    def observe(self, delta: int) -> None:
+        """Record the raw delta of a completed window."""
+        if delta < 0:
+            raise ConfigurationError(f"delta must be >= 0, got {delta}")
+        self._deltas.append(delta)
+
+    @property
+    def current(self) -> int:
+        """The smoothed delta (ceiling of the window mean)."""
+        if not self._deltas:
+            return self.min_delta
+        mean = sum(self._deltas) / len(self._deltas)
+        return max(self.min_delta, int(mean + 0.5))
+
+
+class LastValuePredictor:
+    """The paper's predictor: next size = previous size, delta per Eq. 2
+    smoothed over ``m`` windows."""
+
+    name = "last-value"
+
+    def __init__(self, m: int = 1, min_delta: int = 0):
+        self._smoother = DeltaSmoother(m, min_delta)
+        self._history: List[int] = []
+
+    def observe(self, actual_size: int) -> None:
+        """Record the actual size of a completed window."""
+        if actual_size < 0:
+            raise ConfigurationError(
+                f"actual size must be >= 0, got {actual_size}")
+        if self._history:
+            self._smoother.observe(raw_delta(actual_size,
+                                             self._history[-1]))
+        self._history.append(actual_size)
+        # Only the last value matters for the prediction itself.
+        if len(self._history) > 2:
+            del self._history[0]
+
+    @property
+    def ready(self) -> bool:
+        """Whether at least two windows have been observed (the paper's
+        initialization requirement)."""
+        return len(self._history) >= 2
+
+    def predict(self) -> Tuple[int, int]:
+        """The ``(predicted size, delta)`` pair for the next window."""
+        if not self._history:
+            raise ConfigurationError("predict() before any observation")
+        return predict_next(self._history[-1]), self._smoother.current
+
+
+class MovingAveragePredictor(LastValuePredictor):
+    """Ablation predictor: next size = mean of the last ``k`` sizes."""
+
+    name = "moving-average"
+
+    def __init__(self, k: int = 4, m: int = 1, min_delta: int = 0):
+        super().__init__(m, min_delta)
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self._window: Deque[int] = deque(maxlen=k)
+
+    def observe(self, actual_size: int) -> None:
+        super().observe(actual_size)
+        self._window.append(actual_size)
+
+    def predict(self) -> Tuple[int, int]:
+        if not self._window:
+            raise ConfigurationError("predict() before any observation")
+        mean = int(sum(self._window) / len(self._window) + 0.5)
+        return mean, self._smoother.current
+
+
+class LinearTrendPredictor(LastValuePredictor):
+    """Ablation predictor: extrapolate the last two sizes linearly."""
+
+    name = "linear-trend"
+
+    def __init__(self, m: int = 1, min_delta: int = 0):
+        super().__init__(m, min_delta)
+        self._last_two: Deque[int] = deque(maxlen=2)
+
+    def observe(self, actual_size: int) -> None:
+        super().observe(actual_size)
+        self._last_two.append(actual_size)
+
+    def predict(self) -> Tuple[int, int]:
+        if not self._last_two:
+            raise ConfigurationError("predict() before any observation")
+        if len(self._last_two) == 1:
+            return self._last_two[0], self._smoother.current
+        prev2, prev1 = self._last_two
+        prediction = max(0, 2 * prev1 - prev2)
+        return prediction, self._smoother.current
+
+
+PREDICTORS = {
+    "last-value": LastValuePredictor,
+    "moving-average": MovingAveragePredictor,
+    "linear-trend": LinearTrendPredictor,
+}

@@ -1,0 +1,213 @@
+"""Protocol messages exchanged between root and local nodes.
+
+The communication model (Section 3) is single-direction *flows*:
+up-flows carry raw events, partial results, and event rates from local
+nodes to the root; down-flows carry window assignments (types, measures,
+sizes, deltas, watermarks) from the root to local nodes.
+
+Message wire sizes are computed structurally from their content by
+:func:`sizeof_message`, in the system's wire format (binary for
+everything except the Disco baseline, which uses strings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim.serialization import WireFormat, message_size
+from repro.streams.batch import EventBatch
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; every message names its sender."""
+
+    sender: str
+
+
+# -- source injection (data stream node -> local node, zero network cost) --
+
+@dataclass(frozen=True)
+class SourceBatch(Message):
+    """Events produced by the data generator co-located with a local
+    node.  Arrives via the kernel, not the network fabric, because the
+    generator runs on the node itself (Section 5, Data Generators)."""
+
+    events: EventBatch
+
+
+# -- up-flows ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RawEvents(Message):
+    """Raw forwarded events (centralized aggregation / Deco init).
+
+    ``start`` is the absolute stream position of the first event;
+    ``-1`` for fire-and-forget forwarding (Central), >= 0 for the Deco
+    bootstrap, whose root detects gaps from dropped messages and asks
+    for a resend (failure model, Section 4.3.4).
+    """
+
+    window_index: int
+    events: EventBatch
+    start: int = -1
+
+
+@dataclass(frozen=True)
+class ResendRequest(Message):
+    """Down-flow NACK: re-send raw events from ``from_position``."""
+
+    from_position: int
+
+
+@dataclass(frozen=True)
+class RateReport(Message):
+    """Measured event rate (Deco_mon initialization step)."""
+
+    window_index: int
+    event_rate: float
+    events_seen: int
+
+
+@dataclass(frozen=True)
+class LocalWindowReport(Message):
+    """The single up-flow of Deco_sync / Deco_async calculation steps:
+    partial result of the local slice, raw buffer contents, the measured
+    event rate, and the slice statistics (count, first/last timestamps,
+    Section 4.2.2)."""
+
+    window_index: int
+    epoch: int
+    partial: Any
+    slice_count: int
+    event_rate: float
+    buffer: EventBatch = field(default_factory=EventBatch.empty)
+    fbuffer: Optional[EventBatch] = None
+    ebuffer: Optional[EventBatch] = None
+    #: Absolute position in the sender's stream where this window's
+    #: coverage starts (the speculative start for Deco_async).
+    spec_start: int = -1
+    #: Absolute position where the slice starts (== ``spec_start`` when
+    #: there is no front buffer).
+    slice_start: int = -1
+    first_ts: int = -1
+    last_ts: int = -1
+
+
+@dataclass(frozen=True)
+class FrontBuffer(Message):
+    """Deco_async: the speculative window's front buffer, shipped as
+    soon as it fills (it is the first region the window consumes).
+
+    The paper bundles it with the window report (Algorithm 4); shipping
+    it eagerly is an implementation refinement that lets the root
+    complete the *previous* window's tail without waiting a full window
+    — the front buffer's entire purpose is "to make room for prediction
+    error" at the boundary (Section 4.2.3).
+    """
+
+    window_index: int
+    epoch: int
+    spec_start: int
+    events: EventBatch
+
+
+@dataclass(frozen=True)
+class CorrectionReport(Message):
+    """Correction-step up-flow: the partial over the *actual* local
+    window plus the last event (the actual sizes come from rates and
+    "may or may not belong to the global window", Section 4.3.1)."""
+
+    window_index: int
+    epoch: int
+    partial: Any
+    count: int
+    last_event: EventBatch
+
+
+# -- down-flows ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WindowAssignment(Message):
+    """Prediction-step down-flow: predicted size and delta (Deco_sync /
+    Deco_async), or the actual size with ``delta == 0`` (Deco_mon).
+    Carries the watermark of the previous global window."""
+
+    window_index: int
+    epoch: int
+    predicted_size: int
+    delta: int
+    #: Absolute stream position where the window starts (the previous
+    #: window's actual end); ``-1`` when the node keeps its own position
+    #: (Deco_async speculation).
+    start_position: int = -1
+    #: Verified position before which the node may drop events
+    #: (watermark-driven eviction, Section 4.3.4).
+    release_before: int = -1
+    watermark: int = -1
+
+
+@dataclass(frozen=True)
+class CorrectionRequest(Message):
+    """Correction-step down-flow: the actual local window size for the
+    mispredicted window; informs the node its prediction was wrong."""
+
+    window_index: int
+    epoch: int
+    actual_size: int
+    #: Absolute stream position where the mispredicted window starts.
+    start_position: int = -1
+    watermark: int = -1
+
+
+@dataclass(frozen=True)
+class StartWindow(Message):
+    """Verification-complete signal: the local node may start its next
+    window (the blocking ack of the synchronous schemes)."""
+
+    window_index: int
+    epoch: int
+    watermark: int = -1
+
+
+def _batch_len(batch: Optional[EventBatch]) -> int:
+    return 0 if batch is None else len(batch)
+
+
+def sizeof_message(msg: Message,
+                   fmt: WireFormat = WireFormat.BINARY) -> int:
+    """Structural wire size of a protocol message."""
+    if isinstance(msg, SourceBatch):
+        return 0  # generator is co-located with the node
+    if isinstance(msg, RawEvents):
+        return message_size(n_events=len(msg.events), n_scalars=2,
+                            fmt=fmt)
+    if isinstance(msg, ResendRequest):
+        return message_size(n_scalars=1, fmt=fmt)
+    if isinstance(msg, RateReport):
+        return message_size(n_scalars=3, fmt=fmt)
+    if isinstance(msg, LocalWindowReport):
+        n_events = (_batch_len(msg.buffer) + _batch_len(msg.fbuffer)
+                    + _batch_len(msg.ebuffer))
+        # partial + count + rate + spec/slice starts + first/last ts +
+        # window/epoch ids.
+        return message_size(n_events=n_events, n_scalars=9, fmt=fmt)
+    if isinstance(msg, FrontBuffer):
+        return message_size(n_events=len(msg.events), n_scalars=3,
+                            fmt=fmt)
+    if isinstance(msg, CorrectionReport):
+        return message_size(n_events=len(msg.last_event), n_scalars=4,
+                            fmt=fmt)
+    if isinstance(msg, WindowAssignment):
+        return message_size(n_scalars=7, fmt=fmt)
+    if isinstance(msg, CorrectionRequest):
+        return message_size(n_scalars=5, fmt=fmt)
+    if isinstance(msg, StartWindow):
+        return message_size(n_scalars=3, fmt=fmt)
+    raise TypeError(f"unknown message type {type(msg).__name__}")
+
+
+def make_sizer(fmt: WireFormat = WireFormat.BINARY):
+    """A ``msg -> bytes`` sizer bound to one wire format."""
+    return lambda msg: sizeof_message(msg, fmt)

@@ -1,0 +1,72 @@
+"""Query specification for the Deco pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.aggregates.base import AggregateFunction
+from repro.aggregates.registry import get_aggregate
+from repro.errors import ConfigurationError
+from repro.windows.base import TumblingCountWindow, WindowSpec
+
+
+@dataclass
+class Query:
+    """A count-based window aggregation query.
+
+    Args:
+        window: The window specification.  Deco's decentralized schemes
+            target tumbling count windows; other specs are served by the
+            substrate operators.
+        aggregate: An :class:`AggregateFunction` or a registry name
+            (e.g. ``"sum"``).
+        delta_m: The paper's ``m`` parameter — how many past deltas are
+            averaged; controls how aggressively Deco adapts
+            (Section 4.2.2).
+        min_delta: Optional floor on the smoothed delta.
+        predictor: Prediction strategy name (``last-value`` is the
+            paper's; others exist for ablations).
+    """
+
+    window: WindowSpec
+    aggregate: Union[str, AggregateFunction] = "sum"
+    delta_m: int = 1
+    min_delta: int = 0
+    predictor: str = "last-value"
+
+    def __post_init__(self):
+        self.window.validate()
+        if isinstance(self.aggregate, str):
+            self.aggregate = get_aggregate(self.aggregate)
+        if self.delta_m < 1:
+            raise ConfigurationError(
+                f"delta_m must be >= 1, got {self.delta_m}")
+        if self.min_delta < 0:
+            raise ConfigurationError(
+                f"min_delta must be >= 0, got {self.min_delta}")
+
+    @property
+    def window_size(self) -> int:
+        """The global count window size ``l_global``."""
+        if not isinstance(self.window, TumblingCountWindow):
+            raise ConfigurationError(
+                "decentralized schemes require a tumbling count window; "
+                f"got {type(self.window).__name__}")
+        return self.window.length
+
+    @property
+    def decomposable(self) -> bool:
+        """Whether partial aggregation on local nodes is possible.
+
+        Non-decomposable (holistic) functions force centralized
+        aggregation (paper footnote 2).
+        """
+        return self.aggregate.is_decomposable
+
+
+def tumbling_count_query(window_size: int, aggregate="sum",
+                         **kwargs) -> Query:
+    """Convenience constructor for the evaluation's standard query."""
+    return Query(window=TumblingCountWindow(window_size),
+                 aggregate=aggregate, **kwargs)

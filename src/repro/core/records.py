@@ -1,0 +1,87 @@
+"""Run outcome records shared by every scheme."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class WindowOutcome:
+    """One emitted global window result.
+
+    ``spans`` maps local node index to the ``[start, end)`` range of
+    that node's stream the scheme *actually aggregated* into this
+    window — the basis of the correctness metric.
+    """
+
+    index: int
+    result: float
+    emit_time: float
+    spans: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    corrected: bool = False
+    #: Up/down communication flows this window consumed (Section 3's
+    #: flow terminology; a flow is one direction of root<->locals
+    #: communication, regardless of node count).
+    up_flows: int = 0
+    down_flows: int = 0
+
+    @property
+    def events(self) -> int:
+        """Events aggregated into this window per its spans."""
+        return sum(end - start for start, end in self.spans.values())
+
+
+@dataclass
+class RunResult:
+    """Everything a scheme run produced, for the metrics layer."""
+
+    scheme: str
+    n_nodes: int
+    window_size: int
+    outcomes: List[WindowOutcome] = field(default_factory=list)
+    correction_steps: int = 0
+    #: Verification failures observed (== correction_steps for the Deco
+    #: schemes; 0 for baselines).
+    prediction_errors: int = 0
+    #: Wall-clock (simulated) seconds from start to last emission.
+    sim_time: float = 0.0
+    #: Bytes on the wire: local->root and root->local (and peer traffic
+    #: for Deco_monlocal).
+    bytes_up: int = 0
+    bytes_down: int = 0
+    bytes_peer: int = 0
+    messages: int = 0
+    #: CPU-busy seconds per node name.
+    node_busy_s: Dict[str, float] = field(default_factory=dict)
+    #: Events recomputed after mispredictions (Deco_async rollbacks).
+    recomputed_events: int = 0
+    #: Sustained bytes/s on the root's ingress NIC (line utilization x
+    #: line rate) — the quantity Fig. 11b plots.
+    root_ingress_bytes_per_s: float = 0.0
+    #: Timeout-driven message retransmissions (failure model,
+    #: Section 4.3.4).
+    retransmissions: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes the scheme put on the network."""
+        return self.bytes_up + self.bytes_down + self.bytes_peer
+
+    @property
+    def results(self) -> List[float]:
+        """Window results in emission order of window index."""
+        return [o.result
+                for o in sorted(self.outcomes, key=lambda o: o.index)]
+
+    @property
+    def n_windows(self) -> int:
+        """Number of emitted windows."""
+        return len(self.outcomes)
+
+    def outcome(self, index: int) -> Optional[WindowOutcome]:
+        """The outcome of window ``index``, if emitted."""
+        for o in self.outcomes:
+            if o.index == index:
+                return o
+        return None

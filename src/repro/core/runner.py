@@ -1,0 +1,314 @@
+"""Scheme runner: build a cluster, inject a workload, collect results.
+
+This is the execution entry point used by the public API, the examples,
+and every benchmark.  A run:
+
+1. generates (or accepts) a :class:`~repro.core.workload.Workload`,
+2. builds the star topology with the scheme's behaviours and profiles,
+3. injects each node's stream as :class:`SourceBatch` deliveries —
+   *paced* (arrival time = event time, for latency measurement) or
+   *saturated* (everything available up front, for sustainable
+   throughput measurement),
+4. runs the simulation and packages a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Tuple, Type
+
+from repro.core.context import SchemeContext
+from repro.core.protocol import SourceBatch, make_sizer
+from repro.core.query import Query, tumbling_count_query
+from repro.core.records import RunResult
+from repro.core.workload import Workload, generate_workload
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.network import DEFAULT_LATENCY_S, ETHERNET_25G
+from repro.sim.node import INTEL_XEON, NodeProfile
+from repro.sim.serialization import WireFormat
+from repro.sim.topology import ROOT_NAME, StarTopology, build_star, \
+    local_name
+from repro.streams.event import ticks_to_seconds
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """How to instantiate one scheme's behaviours."""
+
+    name: str
+    root_cls: Type
+    local_cls: Type
+    fmt: WireFormat = WireFormat.BINARY
+    #: Optional transform applied to node profiles (e.g. Disco's
+    #: single-thread restriction).
+    profile_transform: Optional[Callable[[NodeProfile],
+                                         NodeProfile]] = None
+    #: Whether the scheme needs a local-to-local mesh (Deco_monlocal).
+    needs_peer_mesh: bool = False
+
+
+_SCHEMES: Dict[str, SchemeSpec] = {}
+
+
+def register_scheme(spec: SchemeSpec) -> SchemeSpec:
+    """Register a scheme for :func:`run_scheme` lookup by name."""
+    if spec.name in _SCHEMES:
+        raise ConfigurationError(
+            f"scheme {spec.name!r} is already registered")
+    _SCHEMES[spec.name] = spec
+    return spec
+
+
+def available_schemes():
+    """Names of all registered schemes."""
+    return sorted(_SCHEMES)
+
+
+def _central_classes():
+    """The Central behaviours (imported lazily: baselines depend on
+    core)."""
+    from repro.baselines.central import CentralLocal, CentralRoot
+    return CentralRoot, CentralLocal
+
+
+def get_scheme(name: str) -> SchemeSpec:
+    """Look up a registered scheme.
+
+    Built-in schemes register on package import; looking one up before
+    its package was imported triggers the import.
+    """
+    if name not in _SCHEMES:
+        import repro.baselines  # noqa: F401 -- registers baselines
+        import repro.core  # noqa: F401 -- registers deco schemes
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheme {name!r}; known: {sorted(_SCHEMES)}")
+
+
+@dataclass
+class RunConfig:
+    """Parameters of one experiment run."""
+
+    scheme: str
+    n_nodes: int = 2
+    window_size: int = 10_000
+    n_windows: int = 10
+    rate_per_node: float = 100_000.0
+    rate_change: float = 0.01
+    epoch_seconds: float = 1.0
+    #: Data streams feeding each local node (Section 3's model; the
+    #: node's rate is the sum over its streams).
+    streams_per_node: int = 1
+    aggregate: str = "sum"
+    delta_m: int = 1
+    min_delta: int = 0
+    seed: int = 0
+    #: True: all input available at t=0 (sustainable-throughput mode).
+    #: False: events arrive at their timestamps (latency mode).
+    saturated: bool = True
+    local_profile: NodeProfile = INTEL_XEON
+    root_profile: NodeProfile = INTEL_XEON
+    bandwidth: float = ETHERNET_25G
+    latency: float = DEFAULT_LATENCY_S
+    #: Source injection batch size (events); default ~1/16 of the mean
+    #: local window so batching granularity stays below buffer sizes.
+    batch_size: Optional[int] = None
+    #: Extra stream length factor beyond the measured windows (None =
+    #: auto).  Raise for workloads where a scheme drifts far past the
+    #: last boundary (Approx at large rate changes).
+    margin: Optional[float] = None
+    #: Retransmission timeout for the Section 4.3.4 failure model;
+    #: None disables timeouts (reliable fabric).
+    retransmit_timeout_s: Optional[float] = None
+
+    def resolved_batch_size(self) -> int:
+        if self.batch_size is not None:
+            if self.batch_size < 1:
+                raise ConfigurationError(
+                    f"batch_size must be >= 1, got {self.batch_size}")
+            return self.batch_size
+        per_node_window = max(1, self.window_size // self.n_nodes)
+        if self.saturated:
+            return max(64, min(65_536, per_node_window // 16))
+        # Paced (latency) runs use finer batches: arrival granularity
+        # bounds the measurable latency floor.
+        return max(16, min(65_536, per_node_window // 64))
+
+
+def build_run(config: RunConfig,
+              workload: Optional[Workload] = None
+              ) -> Tuple[StarTopology, SchemeContext]:
+    """Construct the topology + context for a config (without running)."""
+    spec = get_scheme(config.scheme)
+    if workload is None:
+        workload = generate_workload(
+            config.n_nodes, config.window_size, config.n_windows,
+            rate_per_node=config.rate_per_node,
+            rate_change=config.rate_change,
+            epoch_seconds=config.epoch_seconds, seed=config.seed,
+            margin=config.margin,
+            streams_per_node=config.streams_per_node)
+    query = tumbling_count_query(
+        config.window_size, config.aggregate, delta_m=config.delta_m,
+        min_delta=config.min_delta)
+    if not query.decomposable and spec.name not in (
+            "central", "scotty", "disco"):
+        # Paper footnote 2: "Deco performs centralized aggregation for
+        # non-decomposable functions" — holistic queries transparently
+        # fall back to the Central protocol.
+        spec = replace(spec, root_cls=_central_classes()[0],
+                       local_cls=_central_classes()[1])
+    result = RunResult(scheme=config.scheme, n_nodes=workload.n_nodes,
+                       window_size=config.window_size)
+    ctx = SchemeContext(query=query, workload=workload, result=result,
+                        fmt=spec.fmt,
+                        retransmit_timeout_s=config.retransmit_timeout_s)
+    local_profile = config.local_profile
+    root_profile = config.root_profile
+    if spec.profile_transform is not None:
+        local_profile = spec.profile_transform(local_profile)
+        root_profile = spec.profile_transform(root_profile)
+    topo = build_star(
+        workload.n_nodes, sizer=make_sizer(spec.fmt),
+        root_profile=root_profile, local_profile=local_profile,
+        bandwidth=config.bandwidth, latency=config.latency,
+        root_behavior=spec.root_cls(ctx),
+        local_behavior_factory=lambda i: spec.local_cls(i, ctx))
+    if spec.needs_peer_mesh:
+        from repro.sim.topology import peer_mesh
+        peer_mesh(topo)
+    return topo, ctx
+
+
+def inject_sources(topo: StarTopology, ctx: SchemeContext,
+                   batch_size: int, saturated: bool) -> None:
+    """Schedule every node's stream as SourceBatch deliveries.
+
+    Injection is trimmed to what the measured windows need plus a small
+    tail (prediction buffers extend past the last boundary), so that
+    byte/CPU accounting is comparable across schemes instead of
+    depending on when each scheme's simulation happens to stop.
+    """
+    sim = topo.sim
+    workload = ctx.workload
+    for i, stream in enumerate(workload.streams):
+        node = topo.local(i)
+        # Inject the whole generated stream: speculative schemes (and
+        # Approx's drifting static split) may need events well past the
+        # last measured boundary, and the run stops at the last emission
+        # anyway.
+        limit = len(stream)
+        if saturated:
+            _SourceFeeder(sim, node, stream, limit, batch_size,
+                          f"source-{i}").start()
+        else:
+            for start in range(0, limit, batch_size):
+                batch = stream.slice_range(
+                    start, min(start + batch_size, limit))
+                msg = SourceBatch(sender=f"source-{i}", events=batch)
+                sim.schedule_at(ticks_to_seconds(batch.last_ts),
+                                lambda n=node, m=msg: n.deliver(m))
+
+
+class _SourceFeeder:
+    """Backpressured source injection for sustainable-throughput runs.
+
+    Delivers the next input batch as soon as the node's CPU finishes the
+    previous one ("the system processes incoming data without an
+    ever-increasing backlog", Section 5's sustainable-throughput setup).
+    Control messages interleave between batches instead of starving
+    behind an unbounded input queue.
+    """
+
+    def __init__(self, sim, node, stream, limit: int, batch_size: int,
+                 sender: str):
+        self._sim = sim
+        self._node = node
+        self._stream = stream
+        self._limit = limit
+        self._batch_size = batch_size
+        self._sender = sender
+        self._pos = 0
+
+    def start(self) -> None:
+        self._sim.schedule_at(0.0, self._feed)
+
+    #: Backpressure polling interval (simulated seconds).
+    RETRY_S = 50e-6
+
+    def _feed(self) -> None:
+        if self._pos >= self._limit:
+            return
+        behavior = self._node.behavior
+        if (behavior is not None and hasattr(behavior, "input_paused")
+                and behavior.input_paused()):
+            # Bounded node memory: hold the input until the protocol
+            # releases verified events.
+            self._sim.schedule(self.RETRY_S, self._feed)
+            return
+        end = min(self._pos + self._batch_size, self._limit)
+        batch = self._stream.slice_range(self._pos, end)
+        self._pos = end
+        self._node.deliver(SourceBatch(sender=self._sender, events=batch))
+        # The node's CPU frees exactly when this batch's handler ran;
+        # feed the next batch then.
+        self._sim.schedule_at(self._node._cpu_free_at, self._feed)
+
+
+def collect(topo: StarTopology, ctx: SchemeContext) -> RunResult:
+    """Fill network/CPU accounting into the run's result."""
+    result = ctx.result
+    net = topo.network
+    result.bytes_up = net.bytes_into(ROOT_NAME)
+    result.bytes_down = net.bytes_from(ROOT_NAME)
+    total = net.total_bytes()
+    result.bytes_peer = total - result.bytes_up - result.bytes_down
+    result.messages = sum(
+        link.stats.messages_sent for link in net._links.values())
+    result.node_busy_s = {
+        name: node.metrics.busy_s for name, node in net.nodes().items()}
+    ingress = net.nic(ROOT_NAME, "ingress")
+    result.root_ingress_bytes_per_s = (
+        ingress.utilization_until_now * ingress.bandwidth)
+    return result
+
+
+def simulation_cap_s(ctx: SchemeContext) -> float:
+    """Safety cap on simulated time.
+
+    A healthy run finishes within the stream's own duration (paced) or
+    far sooner (saturated); a stalled protocol otherwise keeps the
+    event queue alive forever via backpressure-retry and timeout
+    events.  The cap bounds the run so stalls surface as diagnostics.
+    """
+    last_ts = max(
+        ticks_to_seconds(int(s.ts[-1]))
+        for s in ctx.workload.streams if len(s))
+    return 3.0 * last_ts + 10.0
+
+
+def run_simulation(topo: StarTopology, ctx: SchemeContext,
+                   batch_size: int, saturated: bool) -> RunResult:
+    """Inject sources, run to completion (or the safety cap), collect."""
+    inject_sources(topo, ctx, batch_size, saturated)
+    topo.start()
+    topo.sim.run(until=simulation_cap_s(ctx))
+    return collect(topo, ctx)
+
+
+def run_scheme(config: RunConfig,
+               workload: Optional[Workload] = None,
+               ) -> Tuple[RunResult, Workload]:
+    """Run one scheme over one workload; returns result + workload."""
+    topo, ctx = build_run(config, workload)
+    result = run_simulation(topo, ctx, config.resolved_batch_size(),
+                            config.saturated)
+    if result.n_windows < ctx.n_windows:
+        raise SimulationError(
+            f"scheme {config.scheme!r} stalled: emitted "
+            f"{result.n_windows}/{ctx.n_windows} windows "
+            f"(likely a protocol deadlock or insufficient stream data)")
+    return result, ctx.workload

@@ -1,0 +1,124 @@
+"""Gap-tolerant raw-event store for the Deco_async root.
+
+The async root's raw coverage of a node's stream is inherently gappy:
+front/end buffers arrive as raw events, but the slices between them are
+only partial aggregates.  A :class:`SegmentStore` holds raw runs
+addressed by absolute stream position, answers coverage queries, and
+extracts ranges — the mechanics behind the paper's *previous* and
+*current root buffers* (Section 4.2.3): a window's tail that overruns
+its end buffer is completed by the *next* speculative window's front
+buffer once it arrives.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+from repro.errors import WindowError
+from repro.streams.batch import EventBatch
+
+
+class SegmentStore:
+    """Raw event runs at absolute positions, possibly with gaps."""
+
+    def __init__(self, base: int = 0):
+        #: Positions before base have been verified and released.
+        self._base = base
+        self._starts: List[int] = []
+        self._batches: List[EventBatch] = []
+
+    @property
+    def base(self) -> int:
+        """Verified boundary; everything before it has been released."""
+        return self._base
+
+    def insert(self, start: int, batch: EventBatch) -> None:
+        """Insert a run of events beginning at absolute ``start``.
+
+        Runs must not overlap existing ones (the protocol never ships a
+        position twice within an epoch).
+        """
+        if len(batch) == 0:
+            return
+        end = start + len(batch)
+        if start < self._base:
+            raise WindowError(
+                f"insert at {start} before released base {self._base}")
+        i = bisect.bisect_right(self._starts, start)
+        if i > 0:
+            prev_end = self._starts[i - 1] + len(self._batches[i - 1])
+            if prev_end > start:
+                raise WindowError(
+                    f"overlapping insert at {start}; previous run ends "
+                    f"at {prev_end}")
+        if i < len(self._starts) and end > self._starts[i]:
+            raise WindowError(
+                f"overlapping insert at [{start}, {end}); next run "
+                f"starts at {self._starts[i]}")
+        self._starts.insert(i, start)
+        self._batches.insert(i, batch)
+
+    def covers(self, start: int, end: int) -> bool:
+        """Whether raw events fully cover ``[start, end)``."""
+        if end <= start:
+            return True
+        if start < self._base:
+            return False
+        pos = start
+        i = bisect.bisect_right(self._starts, pos) - 1
+        while pos < end:
+            if i < 0 or i >= len(self._starts):
+                return False
+            run_start = self._starts[i]
+            run_end = run_start + len(self._batches[i])
+            if run_start > pos or run_end <= pos:
+                return False
+            pos = run_end
+            i += 1
+        return True
+
+    def get_range(self, start: int, end: int) -> EventBatch:
+        """Extract events at ``[start, end)``; the range must be covered."""
+        if end <= start:
+            return EventBatch.empty()
+        if not self.covers(start, end):
+            raise WindowError(
+                f"range [{start}, {end}) not fully covered")
+        parts = []
+        i = bisect.bisect_right(self._starts, start) - 1
+        pos = start
+        while pos < end:
+            run_start = self._starts[i]
+            batch = self._batches[i]
+            lo = pos - run_start
+            hi = min(len(batch), end - run_start)
+            parts.append(batch.slice_range(lo, hi))
+            pos = run_start + hi
+            i += 1
+        return EventBatch.concat(parts)
+
+    def release_before(self, position: int) -> None:
+        """Drop events before ``position`` (verified-window eviction)."""
+        if position <= self._base:
+            return
+        self._base = position
+        while self._starts:
+            run_start = self._starts[0]
+            batch = self._batches[0]
+            run_end = run_start + len(batch)
+            if run_end <= position:
+                self._starts.pop(0)
+                self._batches.pop(0)
+            elif run_start < position:
+                drop = position - run_start
+                self._starts[0] = position
+                self._batches[0] = batch.drop(drop)
+                break
+            else:
+                break
+
+    @property
+    def retained(self) -> int:
+        """Total raw events currently held (memory bound checks)."""
+        return sum(len(b) for b in self._batches)

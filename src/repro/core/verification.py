@@ -1,0 +1,99 @@
+"""Verification predicates (Sections 4.2.2-4.2.3).
+
+Deco_sync accepts the prediction for node ``a`` when the actual local
+window size satisfies (Eq. 5-6):
+
+    l_{a,Gi} <  l-hat_{a,Gi} + Delta_{a,Gi}
+    l_{a,Gi} >= l-hat_{a,Gi} - Delta_{a,Gi}
+
+i.e. the actual window ends inside the shipped buffer and starts no
+earlier than the slice.  Deco_async verifies globally on the root
+(Eq. 14-15):
+
+    l_global >= l_root,buffer + l_root,slice
+    l_global <  l_root,buffer + l_root,slice + l-hat_root,buffer
+
+plus the per-node containment conditions that the global inequalities
+summarize (the root has the per-node actual sizes, Section 4.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence
+
+from repro.core.slicing import AsyncLayout, SyncLayout
+
+
+def sync_prediction_ok(actual: int, predicted: int, delta: int) -> bool:
+    """Eq. 5-6 for a single node.
+
+    With ``delta == 0`` the paper's half-open interval is empty, yet an
+    exactly-matching prediction is evidently correct (the slice covers
+    the whole window); we accept that case, which is what makes the
+    steady-rate / zero-buffer regime of Section 4.2.2 workable.
+    """
+    if delta == 0:
+        return actual == predicted
+    return predicted - delta <= actual < predicted + delta
+
+
+def sync_all_ok(actuals: Sequence[int], predicted: Sequence[int],
+                deltas: Sequence[int]) -> bool:
+    """Algorithm 3 line 4: every node's prediction must hold."""
+    return all(sync_prediction_ok(a, p, d)
+               for a, p, d in zip(actuals, predicted, deltas))
+
+
+class AsyncGlobalCheck(NamedTuple):
+    """The three Eq. 14-15 quantities and the verdict."""
+
+    root_slice: int
+    prev_root_buffer: int
+    current_root_buffer: int
+    ok: bool
+
+
+def async_global_check(global_window: int, root_slice: int,
+                       prev_root_buffer: int,
+                       current_root_buffer: int) -> AsyncGlobalCheck:
+    """Eq. 14-15 on the root's aggregated sizes."""
+    lower = prev_root_buffer + root_slice
+    upper = lower + current_root_buffer
+    ok = lower <= global_window < upper or (
+        # Exact coverage with an empty current buffer is still correct:
+        # every event of the window is on hand.
+        lower == global_window and current_root_buffer == 0)
+    return AsyncGlobalCheck(root_slice=root_slice,
+                            prev_root_buffer=prev_root_buffer,
+                            current_root_buffer=current_root_buffer,
+                            ok=ok)
+
+
+def async_node_ok(actual_start: int, actual_end: int,
+                  speculative_start: int, layout: AsyncLayout,
+                  carried_from: int) -> bool:
+    """Per-node containment for one speculative async window.
+
+    The local node covered positions (in its own stream):
+
+    * ``[carried_from, speculative_start)`` — leftovers of earlier
+      Ebuffers already held in the root's previous root buffer,
+    * ``[speculative_start, speculative_start + fbuffer)`` — raw Fbuffer,
+    * slice — aggregated blindly, must lie fully inside the actual
+      window,
+    * Ebuffer — raw, must cover the actual window end.
+
+    Args:
+        actual_start / actual_end: The node's actual window span.
+        speculative_start: Where the local node believed the window
+            starts.
+        layout: The Fbuffer/slice/Ebuffer split it used.
+        carried_from: Start of raw coverage carried over at the root.
+    """
+    slice_start = speculative_start + layout.fbuffer_size
+    slice_end = slice_start + layout.slice_size
+    covered_end = speculative_start + layout.total
+    return (carried_from <= actual_start  # raw coverage reaches back
+            and actual_start <= slice_start  # slice starts inside window
+            and slice_end <= actual_end  # slice ends inside window
+            and actual_end <= covered_end)  # Ebuffer reaches the end

@@ -1,0 +1,179 @@
+"""Workloads: per-node streams plus the ground-truth window split.
+
+A :class:`Workload` materializes the streams every local node will
+ingest and precomputes the ground-truth global window boundaries — the
+timestamp-interleave cut of Section 3's window operator model.  The
+boundaries serve two purposes:
+
+* They are the *reference* for the correctness metric (Fig. 10d): the
+  Central baseline's windows coincide with them by construction.
+* They stand in for the paper's exact boundary-resolution mechanism:
+  the root resolves each window's per-node boundary from reported event
+  rates, slice statistics (first/last timestamps, counts), and the
+  "last event" exchange of the correction step (Section 4.3.1).  Rather
+  than re-deriving the cut from those messages, the root consults the
+  precomputed boundary table *after* the corresponding reports arrive —
+  same information, same timing, exact arithmetic.  DESIGN.md records
+  this as a reproduction decision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streams.batch import EventBatch
+from repro.streams.event import TICKS_PER_SECOND, ticks_to_seconds
+from repro.streams.generator import RateChangeGenerator
+from repro.streams.merge import merge_batches
+
+
+@dataclass
+class Workload:
+    """Per-node input streams and their ground-truth window geometry."""
+
+    streams: List[EventBatch]
+    window_size: int
+    n_windows: int
+    #: Cumulative per-node boundary table, shape
+    #: ``(n_windows + 1, n_nodes)``; row ``g`` is where window ``g``
+    #: starts in each node's stream, row ``n_windows`` where the last
+    #: window ends.
+    bounds: np.ndarray = field(repr=False)
+    #: Timestamp (ticks) of the last event of each global window.
+    boundary_ts: np.ndarray = field(repr=False)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of local nodes (one stream per node)."""
+        return len(self.streams)
+
+    @property
+    def total_events(self) -> int:
+        """Events inside complete global windows."""
+        return self.n_windows * self.window_size
+
+    def actual_size(self, window: int, node: int) -> int:
+        """Actual local window size ``l_{node,G(window)}``."""
+        return int(self.bounds[window + 1, node]
+                   - self.bounds[window, node])
+
+    def actual_sizes(self, window: int) -> np.ndarray:
+        """Actual local window sizes of every node for one window."""
+        return (self.bounds[window + 1] - self.bounds[window]).astype(
+            np.int64)
+
+    def span(self, window: int, node: int) -> Tuple[int, int]:
+        """Ground-truth ``[start, end)`` span in the node's stream."""
+        return (int(self.bounds[window, node]),
+                int(self.bounds[window + 1, node]))
+
+    def window_events(self, window: int) -> EventBatch:
+        """All events of one global window, merged in timestamp order."""
+        parts = [self.streams[a].slice_range(*self.span(window, a))
+                 for a in range(self.n_nodes)]
+        return EventBatch.concat(parts).sorted_by_ts()
+
+    def reference_result(self, aggregate) -> List[float]:
+        """Ground-truth (Central) result of every global window."""
+        return [aggregate.aggregate(self.window_events(g))
+                for g in range(self.n_windows)]
+
+    def boundary_seconds(self, window: int) -> float:
+        """Stream time (s) when the window's last event is produced."""
+        return ticks_to_seconds(int(self.boundary_ts[window]))
+
+
+def build_workload(streams: Sequence[EventBatch], window_size: int,
+                   n_windows: Optional[int] = None) -> Workload:
+    """Assemble a :class:`Workload` from concrete per-node streams.
+
+    Streams should extend a few windows *past* the last measured
+    boundary: prediction buffers and speculation reach beyond it, and a
+    scheme that runs out of events stalls (the runner raises a
+    diagnostic).  :func:`generate_workload` adds that margin
+    automatically.
+    """
+    if window_size <= 0:
+        raise ConfigurationError(
+            f"window_size must be > 0, got {window_size}")
+    streams = list(streams)
+    if not streams:
+        raise ConfigurationError("need at least one stream")
+    merged, source = merge_batches(streams)
+    available = len(merged) // window_size
+    if n_windows is None:
+        n_windows = available
+    if n_windows < 1 or n_windows > available:
+        raise ConfigurationError(
+            f"streams hold {available} complete windows of size "
+            f"{window_size}; requested {n_windows}")
+    n_nodes = len(streams)
+    bounds = np.zeros((n_windows + 1, n_nodes), dtype=np.int64)
+    for g in range(n_windows):
+        chunk = source[g * window_size:(g + 1) * window_size]
+        bounds[g + 1] = bounds[g] + np.bincount(chunk, minlength=n_nodes)
+    boundary_ts = merged.ts[np.arange(1, n_windows + 1)
+                            * window_size - 1].copy()
+    return Workload(streams=streams, window_size=window_size,
+                    n_windows=n_windows, bounds=bounds,
+                    boundary_ts=boundary_ts)
+
+
+def generate_workload(n_nodes: int, window_size: int, n_windows: int, *,
+                      rate_per_node: float = 100_000.0,
+                      rate_change: float = 0.01,
+                      epoch_seconds: float = 1.0,
+                      seed: int = 0, margin: Optional[float] = None,
+                      value_sources: Optional[Sequence] = None,
+                      rates: Optional[Sequence[float]] = None,
+                      streams_per_node: int = 1) -> Workload:
+    """Generate the evaluation's standard workload.
+
+    Every local node ingests ``streams_per_node`` data streams (the
+    Section 3 model: "the number of streams connected to each local
+    node is also different"; ``f_a`` is the node's summed rate),
+    produced by generators co-located with the node.  ``rate_per_node``
+    is the node's *total* rate, split evenly over its streams; per-node
+    rates can be made heterogeneous via ``rates``.
+    """
+    if n_nodes < 1:
+        raise ConfigurationError(f"need >= 1 node, got {n_nodes}")
+    if streams_per_node < 1:
+        raise ConfigurationError(
+            f"streams_per_node must be >= 1, got {streams_per_node}")
+    if rates is None:
+        rates = [rate_per_node] * n_nodes
+    if len(rates) != n_nodes:
+        raise ConfigurationError(
+            f"got {len(rates)} rates for {n_nodes} nodes")
+    total_rate = float(sum(rates))
+    needed = n_windows * window_size
+    if margin is None:
+        # Enough spare stream for speculative tails: at least ~3 extra
+        # global windows' worth of events beyond the measured ones.
+        margin = 1.0 + max(0.1, 3.0 / n_windows)
+    duration = needed * margin / total_rate + 2 * epoch_seconds
+    streams = []
+    for i, rate in enumerate(rates):
+        kwargs = {}
+        if value_sources is not None:
+            kwargs["value_source"] = value_sources[i]
+        node_streams = []
+        for j in range(streams_per_node):
+            gen = RateChangeGenerator(
+                rate / streams_per_node, rate_change,
+                epoch_seconds=epoch_seconds,
+                seed=(seed * 1000 + i) * 31 + j, **kwargs)
+            node_streams.append(gen.generate_seconds(duration))
+        if streams_per_node == 1:
+            streams.append(node_streams[0])
+        else:
+            # The node observes its sources' stable timestamp merge.
+            merged, _ = merge_batches(node_streams)
+            streams.append(merged)
+    return build_workload(streams, window_size, n_windows)

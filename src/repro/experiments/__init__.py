@@ -1,0 +1,21 @@
+"""Experiment modules: one per paper figure/table (see DESIGN.md)."""
+
+from repro.experiments import fig7, fig8, fig9, fig10, fig11, micro
+from repro.experiments.config import (ADAPTIVITY_SCHEMES, DELTA_M,
+                                      END_TO_END_SCHEMES, MIN_DELTA,
+                                      common_kwargs, scaled)
+
+__all__ = [
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "micro",
+    "END_TO_END_SCHEMES",
+    "ADAPTIVITY_SCHEMES",
+    "DELTA_M",
+    "MIN_DELTA",
+    "common_kwargs",
+    "scaled",
+]

@@ -1,0 +1,53 @@
+"""Figure 9: scalability with local node count.
+
+Setup (Section 5.1): starting from one root + one local node, local
+nodes grow to 32; the global window size grows with the node count "to
+eliminate the effect of small size windows".  Deco_async's throughput
+scales linearly (it offloads aggregation to the added nodes) with a
+gradual slowdown; the centralized approaches stay flat.  Latency:
+Deco_async grows slowly with node count, the others are constant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.api import RunSummary, compare
+from repro.experiments.config import (END_TO_END_SCHEMES, common_kwargs,
+                                      scaled)
+
+RATE_CHANGE = 0.01
+NODE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def run_fig9(scale: float = 1.0, mode: str = "throughput",
+             node_counts=NODE_COUNTS,
+             seed: int = 0) -> Dict[int, Dict[str, RunSummary]]:
+    """Fig. 9a (throughput) / 9b (latency) sweeps over node count."""
+    s = scaled(base_window=10_000, base_windows=24, rate=50_000.0,
+               scale=scale)
+    out: Dict[int, Dict[str, RunSummary]] = {}
+    for n in node_counts:
+        out[n] = compare(
+            list(END_TO_END_SCHEMES), n_nodes=n,
+            window_size=s.window_size * n,  # window grows with nodes
+            n_windows=s.n_windows, rate_per_node=s.rate_per_node,
+            rate_change=RATE_CHANGE, mode=mode, seed=seed,
+            **common_kwargs())
+    return out
+
+
+def rows_fig9a(scale: float = 1.0, node_counts=NODE_COUNTS) -> List[List]:
+    """Rows: node count, throughput per approach (events/s)."""
+    data = run_fig9(scale, "throughput", node_counts)
+    return [[n] + [f"{data[n][s].throughput:,.0f}"
+                   for s in END_TO_END_SCHEMES]
+            for n in data]
+
+
+def rows_fig9b(scale: float = 1.0, node_counts=NODE_COUNTS) -> List[List]:
+    """Rows: node count, mean latency per approach (ms)."""
+    data = run_fig9(scale, "latency", node_counts)
+    return [[n] + [f"{data[n][s].latency_s * 1e3:.3f}"
+                   for s in END_TO_END_SCHEMES]
+            for n in data]

@@ -1,0 +1,61 @@
+"""Correctness against the Central ground truth (Fig. 10d / 10f).
+
+"We use Central as the ground truth and compare every window of Central
+and other approaches to calculate how many events from other approaches
+are the same in the Central window... We then divide the total number
+of correctly processed events by the total number of events" —
+event-membership overlap, computed here from the per-node spans each
+scheme actually aggregated versus the ground-truth boundary table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.records import RunResult
+from repro.core.workload import Workload
+from repro.errors import ConfigurationError
+
+
+def window_overlap(result: RunResult, workload: Workload,
+                   window: int) -> int:
+    """Events of one window that the scheme placed correctly."""
+    outcome = result.outcome(window)
+    if outcome is None:
+        return 0
+    overlap = 0
+    for a in range(workload.n_nodes):
+        gt_start, gt_end = workload.span(window, a)
+        start, end = outcome.spans.get(a, (0, 0))
+        overlap += max(0, min(end, gt_end) - max(start, gt_start))
+    return overlap
+
+
+def correctness(result: RunResult, workload: Workload) -> float:
+    """Fraction of events processed in their correct global window."""
+    total = workload.n_windows * workload.window_size
+    if total == 0:
+        raise ConfigurationError("workload has no windows")
+    return sum(window_overlap(result, workload, g)
+               for g in range(workload.n_windows)) / total
+
+
+def per_window_correctness(result: RunResult,
+                           workload: Workload) -> List[float]:
+    """Per-window correct-event fractions (drift visualisation)."""
+    size = workload.window_size
+    return [window_overlap(result, workload, g) / size
+            for g in range(workload.n_windows)]
+
+
+def results_match(result: RunResult, reference: List[float],
+                  rel_tol: float = 1e-9) -> bool:
+    """Whether every emitted aggregate equals the reference value."""
+    import math
+    values = result.results
+    if len(values) != len(reference):
+        return False
+    return all(
+        math.isclose(v, r, rel_tol=rel_tol, abs_tol=1e-9)
+        or (math.isnan(v) and math.isnan(r))
+        for v, r in zip(values, reference))

@@ -1,0 +1,150 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event-driven scheduler: callbacks are executed
+in (time, insertion) order from a binary heap.  All simulation components
+(network links, node CPU queues, timeouts) are built on this kernel, so a
+whole cluster run is a single-threaded, reproducible computation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """The simulation clock and event loop.
+
+    Time is in seconds (float).  Determinism: events at equal times run
+    in scheduling order.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[ScheduledEvent] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float,
+                 callback: Callable[[], None]) -> ScheduledEvent:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float,
+                    callback: Callable[[], None]) -> ScheduledEvent:
+        """Run ``callback`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now {self._now}")
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite schedule time {time}")
+        event = ScheduledEvent(time, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def stop(self) -> None:
+        """Stop the run loop after the current callback returns."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Execute events until the queue drains, ``until`` is reached,
+        or ``max_events`` callbacks have run.  Returns the final time."""
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue and not self._stopped:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback()
+                self.events_executed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            else:
+                if until is not None and not self._stopped:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+
+class Timeout:
+    """A restartable timeout built on the kernel.
+
+    Deco sets "timeouts for all local windows to deal with delayed
+    events and missing messages" (Section 4.3.4); this helper gives the
+    nodes a timer they can arm, re-arm, and cancel.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]):
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[ScheduledEvent] = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timeout is currently pending."""
+        return self._handle is not None and not self._handle.cancelled
+
+    def arm(self, delay: float) -> None:
+        """(Re)arm the timeout ``delay`` seconds from now."""
+        self.cancel()
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm without firing."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()

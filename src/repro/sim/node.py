@@ -1,0 +1,209 @@
+"""Simulated cluster nodes with a CPU cost model.
+
+A node is a single-server queue on top of the simulation kernel: each
+delivered message occupies the node for a service time derived from its
+hardware profile and the message's content, then the node's behaviour
+callback runs.  ``threads`` models pipeline parallelism — Scotty "uses
+separate threads to send, receive, and process events" while Disco "only
+uses a single thread" (Section 5.1) — by scaling effective service time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Optional, Protocol
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Hardware capability profile of a cluster node.
+
+    Rates are events per second for a single processing thread; the
+    profiles are calibrated so that *ratios* between systems and node
+    classes match the paper's testbed (Section 5), which is all the
+    relative results need.
+    """
+
+    name: str
+    #: Events/s one thread can ingest and incrementally aggregate.
+    process_rate: float
+    #: Events/s one thread can serialize and hand to the NIC.
+    serialize_rate: float
+    #: Fixed CPU time per message handled (envelope, dispatch).
+    message_overhead_s: float
+    #: Pipeline threads available (send / receive / process).
+    threads: int = 1
+
+    def per_event_process_s(self) -> float:
+        """CPU seconds to process one event."""
+        return 1.0 / self.process_rate
+
+    def per_event_serialize_s(self) -> float:
+        """CPU seconds to serialize one event."""
+        return 1.0 / self.serialize_rate
+
+
+# Calibrated profiles.  The Xeon Gold 5220S local nodes aggregate on the
+# order of 10M events/s/thread in the paper's Java implementation; the
+# Pi 4B is roughly an order of magnitude weaker per core.
+INTEL_XEON = NodeProfile(
+    name="intel-xeon-gold-5220s",
+    process_rate=10_000_000.0,
+    serialize_rate=25_000_000.0,
+    message_overhead_s=20e-6,
+    threads=3,
+)
+
+RASPBERRY_PI_4B = NodeProfile(
+    name="raspberry-pi-4b",
+    process_rate=1_200_000.0,
+    serialize_rate=3_000_000.0,
+    message_overhead_s=80e-6,
+    threads=2,
+)
+
+
+class Behavior(Protocol):
+    """Protocol implemented by scheme node behaviours."""
+
+    def on_start(self, node: "SimNode") -> None:
+        """Called once when the simulation starts."""
+        ...  # pragma: no cover - protocol
+
+    def on_message(self, node: "SimNode", msg: Any) -> None:
+        """Handle a delivered message (after its service time elapsed)."""
+        ...  # pragma: no cover - protocol
+
+    def service_time(self, node: "SimNode", msg: Any) -> float:
+        """CPU seconds this message costs the receiving node."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class NodeMetrics:
+    """Accumulated per-node accounting."""
+
+    busy_s: float = 0.0
+    messages: int = 0
+    events_processed: int = 0
+    max_queue: int = 0
+
+
+class SimNode:
+    """A cluster node: single-server CPU queue plus a behaviour."""
+
+    def __init__(self, sim: Simulator, name: str, profile: NodeProfile,
+                 behavior: Optional[Behavior] = None):
+        self.sim = sim
+        self.name = name
+        self.profile = profile
+        self.behavior = behavior
+        self.network = None  # wired by Network.attach
+        self._cpu_free_at = 0.0
+        self._queued = 0
+        self.metrics = NodeMetrics()
+        self.crashed = False
+
+    def __repr__(self) -> str:
+        return f"SimNode({self.name!r}, profile={self.profile.name!r})"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke the behaviour's start hook."""
+        if self.behavior is not None:
+            self.behavior.on_start(self)
+
+    def crash(self) -> None:
+        """Fail-stop this node; it silently drops everything afterwards."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        """Restart a crashed node (state is the behaviour's concern)."""
+        self.crashed = False
+
+    # -- message handling ----------------------------------------------------
+
+    def deliver(self, msg: Any) -> None:
+        """Called by the network when a message arrives at this node.
+
+        The message waits for the CPU, occupies it for the behaviour's
+        service time, then the behaviour handles it.
+        """
+        if self.crashed:
+            return
+        if self.behavior is None:
+            raise SimulationError(f"node {self.name} has no behavior")
+        service = self.behavior.service_time(self, msg)
+        if service < 0:
+            raise SimulationError(
+                f"negative service time {service} on {self.name}")
+        # Pipeline threads overlap stages; model as a service speed-up
+        # bounded by the profile's thread count.
+        service /= max(1, self.profile.threads)
+        start = max(self.sim.now, self._cpu_free_at)
+        done = start + service
+        self._cpu_free_at = done
+        self._queued += 1
+        self.metrics.max_queue = max(self.metrics.max_queue, self._queued)
+        self.metrics.busy_s += service
+        self.sim.schedule_at(done, lambda m=msg: self._handle(m))
+
+    def _handle(self, msg: Any) -> None:
+        self._queued -= 1
+        if self.crashed:
+            return
+        self.metrics.messages += 1
+        self.behavior.on_message(self, msg)
+
+    def occupy(self, duration: float) -> float:
+        """Occupy this node's CPU for ``duration`` seconds of work.
+
+        Used for work not triggered by a message delivery (window-end
+        aggregation bursts, speculative recomputation).  Returns the
+        completion time; the caller typically schedules a follow-up
+        callback there.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative occupy duration {duration}")
+        duration /= max(1, self.profile.threads)
+        start = max(self.sim.now, self._cpu_free_at)
+        done = start + duration
+        self._cpu_free_at = done
+        self.metrics.busy_s += duration
+        return done
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, dst: str, msg: Any) -> None:
+        """Send a message to another node via the attached network.
+
+        Sending costs the node one message overhead of CPU (envelope
+        construction, syscall, NIC handoff) and the message leaves when
+        that work completes — which is what makes wide fan-outs (e.g.
+        Deco_monlocal's peer exchange) pay an O(n) sender cost.
+        """
+        if self.crashed:
+            return
+        if self.network is None:
+            raise SimulationError(f"node {self.name} is not attached")
+        done = self.occupy(self.profile.message_overhead_s)
+        if done > self.sim.now:
+            self.sim.schedule_at(
+                done, lambda: self.network.send(self.name, dst, msg))
+        else:
+            self.network.send(self.name, dst, msg)
+
+    # -- accounting ------------------------------------------------------------
+
+    def account_events(self, n: int) -> None:
+        """Record ``n`` events as processed by this node (metrics only)."""
+        self.metrics.events_processed += n
+
+    @property
+    def backlog(self) -> int:
+        """Messages queued or in service right now."""
+        return self._queued

@@ -1,0 +1,135 @@
+"""Cluster topology builders.
+
+Deco's deployment is a star (Figure 1): data stream nodes feed local
+nodes, local nodes connect to one root node.  The builders here assemble
+that shape on the simulator with hardware profiles matching the paper's
+two testbeds (Intel Xeon cluster with 25 GbE; Raspberry Pi cluster with
+1 GbE and an Intel root).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.sim.network import (DEFAULT_LATENCY_S, ETHERNET_1G,
+                               ETHERNET_25G, Network)
+from repro.sim.node import (INTEL_XEON, RASPBERRY_PI_4B, Behavior,
+                            NodeProfile, SimNode)
+
+ROOT_NAME = "root"
+
+
+def local_name(i: int) -> str:
+    """Canonical name of local node ``i``."""
+    return f"local-{i}"
+
+
+@dataclass
+class StarTopology:
+    """A built star cluster: one root, ``n`` local nodes, full wiring."""
+
+    sim: Simulator
+    network: Network
+    root: SimNode
+    locals: List[SimNode] = field(default_factory=list)
+
+    @property
+    def n_locals(self) -> int:
+        """Number of local nodes currently in the topology."""
+        return len(self.locals)
+
+    def local(self, i: int) -> SimNode:
+        """Local node by index."""
+        return self.locals[i]
+
+    def start(self) -> None:
+        """Run every node's behaviour start hook."""
+        self.root.start()
+        for node in self.locals:
+            node.start()
+
+    def add_local(self, profile: NodeProfile,
+                  behavior: Optional[Behavior] = None,
+                  bandwidth: Optional[float] = None,
+                  latency: Optional[float] = None) -> SimNode:
+        """Add a local node at runtime (Section 4.3.4 membership change).
+
+        The caller must inform the root behaviour; this only wires the
+        fabric.
+        """
+        node = SimNode(self.sim, local_name(len(self.locals)), profile,
+                       behavior)
+        self.network.attach(node)
+        self.network.connect(node.name, ROOT_NAME, bandwidth=bandwidth,
+                             latency=latency)
+        self.locals.append(node)
+        return node
+
+    def remove_local(self, i: int) -> SimNode:
+        """Remove local node ``i`` from the fabric."""
+        node = self.locals.pop(i)
+        self.network.detach(node.name)
+        return node
+
+
+def build_star(n_locals: int, sizer: Callable[[Any], int], *,
+               root_profile: NodeProfile = INTEL_XEON,
+               local_profile: NodeProfile = INTEL_XEON,
+               bandwidth: float = ETHERNET_25G,
+               latency: float = DEFAULT_LATENCY_S,
+               root_behavior: Optional[Behavior] = None,
+               local_behavior_factory: Optional[
+                   Callable[[int], Behavior]] = None) -> StarTopology:
+    """Build a star cluster of one root and ``n_locals`` local nodes.
+
+    Args:
+        n_locals: Number of local (middle-layer) nodes.
+        sizer: Message-size function for the fabric.
+        root_profile / local_profile: Hardware profiles.
+        bandwidth / latency: Link parameters for every local-root link.
+        root_behavior: Behaviour installed on the root node.
+        local_behavior_factory: ``i -> Behavior`` for local node ``i``.
+    """
+    if n_locals < 1:
+        raise ConfigurationError(f"need >= 1 local node, got {n_locals}")
+    sim = Simulator()
+    network = Network(sim, sizer, default_bandwidth=bandwidth,
+                      default_latency=latency)
+    root = SimNode(sim, ROOT_NAME, root_profile, root_behavior)
+    network.attach(root)
+    topo = StarTopology(sim=sim, network=network, root=root)
+    for i in range(n_locals):
+        behavior = (local_behavior_factory(i)
+                    if local_behavior_factory is not None else None)
+        node = SimNode(sim, local_name(i), local_profile, behavior)
+        network.attach(node)
+        network.connect(node.name, ROOT_NAME)
+        topo.locals.append(node)
+    return topo
+
+
+def build_rpi_star(n_locals: int, sizer: Callable[[Any], int],
+                   **kwargs) -> StarTopology:
+    """The Raspberry Pi testbed of Section 5.3: Pi local nodes with
+    1 GbE links and an Intel root node."""
+    kwargs.setdefault("root_profile", INTEL_XEON)
+    kwargs.setdefault("local_profile", RASPBERRY_PI_4B)
+    kwargs.setdefault("bandwidth", ETHERNET_1G)
+    return build_star(n_locals, sizer, **kwargs)
+
+
+def peer_mesh(topo: StarTopology, bandwidth: Optional[float] = None,
+              latency: Optional[float] = None) -> None:
+    """Fully connect the local nodes to each other.
+
+    Needed by Deco_monlocal (Section 5.1 microbenchmark), where "local
+    nodes communicate with each other to exchange event rates".
+    """
+    names = [n.name for n in topo.locals]
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            topo.network.connect(a, b, bandwidth=bandwidth,
+                                 latency=latency)

@@ -1,0 +1,39 @@
+"""Data stream substrate: events, batches, generators, merges, watermarks."""
+
+from repro.streams.batch import EventBatch
+from repro.streams.debs import (ReplayValues, SoccerTraceGenerator,
+                                replay_dataset)
+from repro.streams.event import (Event, TICKS_PER_SECOND, seconds_to_ticks,
+                                 ticks_to_seconds)
+from repro.streams.generator import (BurstyGenerator, ConstantValues,
+                                     GaussianValues, RateChangeGenerator,
+                                     UniformValues, replayed_offsets)
+from repro.streams.lateness import disorder_magnitude, inject_disorder
+from repro.streams.merge import (actual_local_sizes, global_windows,
+                                 merge_batches,
+                                 window_boundaries_per_source)
+from repro.streams.watermark import WatermarkTracker
+
+__all__ = [
+    "Event",
+    "EventBatch",
+    "TICKS_PER_SECOND",
+    "seconds_to_ticks",
+    "ticks_to_seconds",
+    "RateChangeGenerator",
+    "BurstyGenerator",
+    "ConstantValues",
+    "UniformValues",
+    "GaussianValues",
+    "replayed_offsets",
+    "SoccerTraceGenerator",
+    "ReplayValues",
+    "replay_dataset",
+    "merge_batches",
+    "actual_local_sizes",
+    "window_boundaries_per_source",
+    "global_windows",
+    "WatermarkTracker",
+    "inject_disorder",
+    "disorder_magnitude",
+]

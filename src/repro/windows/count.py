@@ -1,0 +1,85 @@
+"""Count-based window operators.
+
+A count window operator consumes batches in arrival order and emits every
+complete window.  Tumbling windows partition the stream into groups of
+``length`` events; sliding windows emit a window of ``length`` events for
+every ``step`` events.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.streams.batch import EventBatch
+from repro.windows.base import SlidingCountWindow, TumblingCountWindow
+
+
+class TumblingCountOperator:
+    """Stream operator emitting tumbling count windows."""
+
+    def __init__(self, spec: TumblingCountWindow):
+        spec.validate()
+        self.spec = spec
+        self._pending: List[EventBatch] = []
+        self._pending_len = 0
+
+    @property
+    def buffered(self) -> int:
+        """Events currently buffered in the incomplete window."""
+        return self._pending_len
+
+    def add(self, batch: EventBatch) -> List[EventBatch]:
+        """Feed a batch; return any windows it completes, in order."""
+        out: List[EventBatch] = []
+        length = self.spec.length
+        while len(batch):
+            need = length - self._pending_len
+            head, batch = batch.split(need)
+            self._pending.append(head)
+            self._pending_len += len(head)
+            if self._pending_len == length:
+                out.append(EventBatch.concat(self._pending))
+                self._pending = []
+                self._pending_len = 0
+        return out
+
+    def flush(self) -> EventBatch:
+        """Return and clear the incomplete tail window."""
+        tail = EventBatch.concat(self._pending)
+        self._pending = []
+        self._pending_len = 0
+        return tail
+
+
+class SlidingCountOperator:
+    """Stream operator emitting sliding count windows.
+
+    Keeps the minimal suffix of the stream needed for future windows
+    (``length`` events), so memory stays bounded by the window length.
+    """
+
+    def __init__(self, spec: SlidingCountWindow):
+        spec.validate()
+        self.spec = spec
+        self._tail = EventBatch.empty()
+        # Absolute stream position of the first event retained in _tail.
+        self._tail_start = 0
+        # Start position of the next window to emit.
+        self._next_window_start = 0
+
+    def add(self, batch: EventBatch) -> List[EventBatch]:
+        """Feed a batch; return completed sliding windows, in order."""
+        self._tail = EventBatch.concat([self._tail, batch])
+        out: List[EventBatch] = []
+        length, step = self.spec.length, self.spec.step
+        end = self._tail_start + len(self._tail)
+        while self._next_window_start + length <= end:
+            lo = self._next_window_start - self._tail_start
+            out.append(self._tail.slice_range(lo, lo + length))
+            self._next_window_start += step
+        # Evict events no future window can reference.
+        evict = self._next_window_start - self._tail_start
+        if evict > 0:
+            self._tail = self._tail.drop(evict)
+            self._tail_start += evict
+        return out

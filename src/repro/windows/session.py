@@ -1,0 +1,72 @@
+"""Session window operator.
+
+A session window "is terminated by a gap in which no events arrive for a
+fixed amount of time" (Section 2.1) — e.g. HTTP sessions or ATM
+interactions.  Sessions have unfixed sizes, so they are emitted as soon
+as the terminating gap is observed in event time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.streams.batch import EventBatch
+from repro.windows.base import SessionWindow
+
+
+class SessionOperator:
+    """Stream operator emitting gap-terminated session windows."""
+
+    def __init__(self, spec: SessionWindow):
+        spec.validate()
+        self.spec = spec
+        self._pending: List[EventBatch] = []
+        self._last_ts: int = -1
+
+    @property
+    def open_session(self) -> bool:
+        """Whether a session is currently accumulating events."""
+        return bool(self._pending)
+
+    def add(self, batch: EventBatch) -> List[EventBatch]:
+        """Feed a timestamp-sorted batch; return completed sessions."""
+        if not batch.is_ts_sorted():
+            raise StreamError(
+                "session windows require timestamp-sorted input")
+        out: List[EventBatch] = []
+        gap = self.spec.gap_ticks
+        while len(batch):
+            if self._last_ts < 0:
+                # No open session: the first event opens one.
+                self._pending.append(batch.take(1))
+                self._last_ts = int(batch.ts[0])
+                batch = batch.drop(1)
+                continue
+            # Find the first event whose inter-arrival gap closes the
+            # session: diff to predecessor >= gap.
+            prev_ts = np.concatenate(
+                [np.array([self._last_ts], dtype=np.int64), batch.ts[:-1]])
+            breaks = np.nonzero(batch.ts - prev_ts >= gap)[0]
+            if len(breaks) == 0:
+                self._pending.append(batch)
+                self._last_ts = int(batch.ts[-1])
+                break
+            cut = int(breaks[0])
+            head, batch = batch.split(cut)
+            if len(head):
+                self._pending.append(head)
+                self._last_ts = int(head.ts[-1])
+            out.append(EventBatch.concat(self._pending))
+            self._pending = []
+            self._last_ts = -1
+        return out
+
+    def flush(self) -> EventBatch:
+        """Close and return the open session (end of stream)."""
+        session = EventBatch.concat(self._pending)
+        self._pending = []
+        self._last_ts = -1
+        return session

@@ -1,0 +1,96 @@
+"""Time-based window operators.
+
+Windows are aligned to the epoch: tumbling time window ``k`` spans
+``[k * length, (k + 1) * length)`` ticks.  A window is emitted once an
+event at or past its end is observed (event-time completion), matching
+the watermark-free single-source setting used by the substrate baselines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.streams.batch import EventBatch
+from repro.windows.base import SlidingTimeWindow, TumblingTimeWindow
+
+
+class TumblingTimeOperator:
+    """Stream operator emitting tumbling time windows."""
+
+    def __init__(self, spec: TumblingTimeWindow):
+        spec.validate()
+        self.spec = spec
+        self._pending: List[EventBatch] = []
+        self._current_window = 0  # index of the open window
+
+    def add(self, batch: EventBatch) -> List[Tuple[int, EventBatch]]:
+        """Feed a timestamp-sorted batch; return ``(window_index, events)``
+        pairs for every window the batch completes."""
+        if not batch.is_ts_sorted():
+            raise StreamError("time windows require timestamp-sorted input")
+        out: List[Tuple[int, EventBatch]] = []
+        length = self.spec.length_ticks
+        while len(batch):
+            window_end = (self._current_window + 1) * length
+            in_window = int(np.searchsorted(batch.ts, window_end,
+                                            side="left"))
+            head, batch = batch.split(in_window)
+            if len(head):
+                self._pending.append(head)
+            if len(batch):  # an event at/past window_end closes the window
+                out.append((self._current_window,
+                            EventBatch.concat(self._pending)))
+                self._pending = []
+                # Jump to the window containing the next event; windows
+                # with no events are not emitted (dataflow semantics).
+                self._current_window = int(batch.ts[0]) // length
+        return out
+
+    def flush(self) -> Tuple[int, EventBatch]:
+        """Close and return the currently open window."""
+        window = (self._current_window, EventBatch.concat(self._pending))
+        self._pending = []
+        self._current_window += 1
+        return window
+
+
+class SlidingTimeOperator:
+    """Stream operator emitting sliding time windows.
+
+    Window ``k`` spans ``[k * step, k * step + length)``.  Implemented by
+    retaining the last ``length`` ticks of events.
+    """
+
+    def __init__(self, spec: SlidingTimeWindow):
+        spec.validate()
+        self.spec = spec
+        self._tail = EventBatch.empty()
+        self._next_window = 0
+
+    def add(self, batch: EventBatch) -> List[Tuple[int, EventBatch]]:
+        """Feed a timestamp-sorted batch; return completed windows."""
+        if not batch.is_ts_sorted():
+            raise StreamError("time windows require timestamp-sorted input")
+        self._tail = EventBatch.concat([self._tail, batch])
+        if len(self._tail) == 0:
+            return []
+        out: List[Tuple[int, EventBatch]] = []
+        length, step = self.spec.length_ticks, self.spec.step_ticks
+        max_ts = int(self._tail.ts[-1])
+        # Window k is complete once an event at/past its end exists.
+        while self._next_window * step + length <= max_ts:
+            k = self._next_window
+            lo = int(np.searchsorted(self._tail.ts, k * step, side="left"))
+            hi = int(np.searchsorted(self._tail.ts, k * step + length,
+                                     side="left"))
+            out.append((k, self._tail.slice_range(lo, hi)))
+            self._next_window += 1
+        # Evict events before the next window's start.
+        cutoff = self._next_window * step
+        evict = int(np.searchsorted(self._tail.ts, cutoff, side="left"))
+        if evict:
+            self._tail = self._tail.drop(evict)
+        return out

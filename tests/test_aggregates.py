@@ -1,0 +1,234 @@
+"""Unit and property tests for the aggregation substrate."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import (AggregateFunction, Average, Count,
+                              Decomposability, GrayKind,
+                              IncrementalAggregator, Max, Median, Min,
+                              Quantile, StdDev, Sum, Variance,
+                              available_aggregates, get_aggregate,
+                              register)
+from repro.errors import AggregationError
+from repro.streams.batch import EventBatch
+
+
+def value_batch(values):
+    values = np.asarray(values, dtype=float)
+    return EventBatch(np.arange(len(values)), values,
+                      np.arange(len(values)))
+
+
+ALL_FUNCTIONS = [Sum(), Count(), Min(), Max(), Average(), Variance(),
+                 StdDev(), Median(), Quantile(0.25)]
+DECOMPOSABLE = [f for f in ALL_FUNCTIONS if f.is_decomposable]
+
+
+class TestClassification:
+    def test_gray_kinds(self):
+        assert Sum().gray_kind is GrayKind.DISTRIBUTIVE
+        assert Average().gray_kind is GrayKind.ALGEBRAIC
+        assert Median().gray_kind is GrayKind.HOLISTIC
+
+    def test_decomposability(self):
+        assert Sum().is_decomposable
+        assert Average().is_decomposable
+        assert not Median().is_decomposable
+        assert Median().decomposability is Decomposability.NON_DECOMPOSABLE
+
+
+class TestDistributive:
+    def test_sum(self):
+        assert Sum().aggregate(value_batch([1, 2, 3.5])) == 6.5
+
+    def test_count(self):
+        assert Count().aggregate(value_batch([5, 5, 5, 5])) == 4.0
+
+    def test_min_max(self):
+        b = value_batch([3, -1, 7])
+        assert Min().aggregate(b) == -1
+        assert Max().aggregate(b) == 7
+
+    def test_identities(self):
+        assert Sum().identity() == 0.0
+        assert Count().identity() == 0
+        assert Min().identity() == math.inf
+        assert Max().identity() == -math.inf
+
+    def test_empty_batch(self):
+        empty = EventBatch.empty()
+        assert Sum().lift(empty) == 0.0
+        assert Min().lift(empty) == math.inf
+        assert Max().lift(empty) == -math.inf
+
+
+class TestAlgebraic:
+    def test_average(self):
+        assert Average().aggregate(value_batch([2, 4, 6])) == 4.0
+
+    def test_average_empty_is_nan(self):
+        assert math.isnan(Average().lower(Average().identity()))
+
+    def test_variance_matches_numpy(self):
+        values = [1.0, 2.0, 2.0, 3.0, 9.0]
+        assert Variance().aggregate(value_batch(values)) == pytest.approx(
+            np.var(values))
+
+    def test_stddev_matches_numpy(self):
+        values = [1.0, 5.0, 5.0, 8.0]
+        assert StdDev().aggregate(value_batch(values)) == pytest.approx(
+            np.std(values))
+
+    def test_variance_combine_identity(self):
+        v = Variance()
+        p = v.lift(value_batch([1, 2, 3]))
+        assert v.combine(v.identity(), p) == p
+        assert v.combine(p, v.identity()) == p
+
+
+class TestHolistic:
+    def test_median(self):
+        assert Median().aggregate(value_batch([5, 1, 3])) == 3.0
+
+    def test_quantile(self):
+        b = value_batch(list(range(101)))
+        assert Quantile(0.9).aggregate(b) == pytest.approx(90.0)
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(AggregationError):
+            Quantile(1.5)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(Median().lower(Median().identity()))
+
+    def test_partial_size_scales_with_values(self):
+        m = Median()
+        small = m.lift(value_batch([1.0]))
+        big = m.lift(value_batch(list(range(100))))
+        assert m.partial_size_bytes(big) > m.partial_size_bytes(small)
+
+    def test_decomposable_partial_size_constant(self):
+        s = Sum()
+        assert s.partial_size_bytes(s.lift(value_batch(range(1000)))) == 16
+
+
+class TestIncrementalAggregator:
+    def test_incremental_equals_direct(self):
+        agg = IncrementalAggregator(Sum())
+        agg.add_batch(value_batch([1, 2]))
+        agg.add_batch(value_batch([3, 4]))
+        assert agg.result() == 10.0
+        assert agg.count == 4
+
+    def test_empty_add_noop(self):
+        agg = IncrementalAggregator(Sum())
+        agg.add_batch(EventBatch.empty())
+        assert agg.count == 0
+
+    def test_merge(self):
+        a = IncrementalAggregator(Average())
+        b = IncrementalAggregator(Average())
+        a.add_batch(value_batch([2, 4]))
+        b.add_batch(value_batch([6]))
+        a.merge(b)
+        assert a.result() == 4.0
+        assert a.count == 3
+
+    def test_merge_partial(self):
+        a = IncrementalAggregator(Sum())
+        a.merge_partial(5.0, 3)
+        assert a.result() == 5.0
+        assert a.count == 3
+
+    def test_merge_type_mismatch_rejected(self):
+        a = IncrementalAggregator(Sum())
+        b = IncrementalAggregator(Count())
+        with pytest.raises(AggregationError):
+            a.merge(b)
+
+    def test_reset(self):
+        a = IncrementalAggregator(Sum())
+        a.add_batch(value_batch([1, 2]))
+        a.reset()
+        assert a.count == 0
+        assert a.result() == 0.0
+
+
+class TestRegistry:
+    def test_lookup_all(self):
+        for name in available_aggregates():
+            assert isinstance(get_aggregate(name), AggregateFunction)
+
+    def test_quantile_spec(self):
+        fn = get_aggregate("quantile(0.75)")
+        assert isinstance(fn, Quantile)
+        assert fn.q == 0.75
+
+    def test_malformed_quantile(self):
+        with pytest.raises(AggregationError):
+            get_aggregate("quantile(abc)")
+
+    def test_unknown_name(self):
+        with pytest.raises(AggregationError, match="unknown aggregate"):
+            get_aggregate("frobnicate")
+
+    def test_register_and_conflict(self):
+        class First(Sum):
+            name = "first"
+
+        register("first_testonly", First)
+        assert isinstance(get_aggregate("first_testonly"), First)
+        with pytest.raises(AggregationError):
+            register("first_testonly", First)
+
+
+values_lists = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e6, max_value=1e6),
+    min_size=1, max_size=60)
+
+
+class TestDecompositionProperties:
+    """Invariant 5 of DESIGN.md: lift/combine/lower == direct aggregate
+    for every partition of the input."""
+
+    @pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: f.name)
+    @given(values=values_lists, cut=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=40, deadline=None)
+    def test_split_invariance(self, fn, values, cut):
+        cut = min(cut, len(values))
+        whole = value_batch(values)
+        left, right = value_batch(values[:cut]), value_batch(values[cut:])
+        combined = fn.combine(fn.lift(left), fn.lift(right))
+        direct = fn.aggregate(whole)
+        assert fn.lower(combined) == pytest.approx(direct, rel=1e-9,
+                                                   abs=1e-9)
+
+    @pytest.mark.parametrize("fn", DECOMPOSABLE, ids=lambda f: f.name)
+    @given(values=values_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_combine_with_identity_is_noop(self, fn, values):
+        partial = fn.lift(value_batch(values))
+        with_left = fn.combine(fn.identity(), partial)
+        with_right = fn.combine(partial, fn.identity())
+        assert fn.lower(with_left) == pytest.approx(fn.lower(partial),
+                                                    rel=1e-9, abs=1e-9)
+        assert fn.lower(with_right) == pytest.approx(fn.lower(partial),
+                                                     rel=1e-9, abs=1e-9)
+
+    @pytest.mark.parametrize("fn", DECOMPOSABLE, ids=lambda f: f.name)
+    @given(values=values_lists, n_parts=st.integers(min_value=1,
+                                                    max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_many_way_split(self, fn, values, n_parts):
+        whole = value_batch(values)
+        size = max(1, len(values) // n_parts)
+        parts = [value_batch(values[i:i + size])
+                 for i in range(0, len(values), size)]
+        combined = fn.combine_all(fn.lift(p) for p in parts)
+        assert fn.lower(combined) == pytest.approx(
+            fn.aggregate(whole), rel=1e-9, abs=1e-9)

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSchemes:
+    def test_lists_all_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("central", "scotty", "disco", "approx",
+                       "deco_mon", "deco_sync", "deco_async",
+                       "deco_monlocal"):
+            assert scheme in out
+
+
+class TestRun:
+    def test_run_prints_summary(self, capsys):
+        code = main(["run", "deco_async", "--nodes", "2", "--window",
+                     "1000", "--windows", "6", "--rate", "10000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deco_async" in out
+        assert "ev/s" in out
+        assert "1.0000" in out  # correctness column
+
+    def test_run_latency_mode(self, capsys):
+        code = main(["run", "central", "--nodes", "2", "--window",
+                     "1000", "--windows", "6", "--rate", "10000",
+                     "--mode", "latency"])
+        assert code == 0
+        assert "ms" in capsys.readouterr().out
+
+    def test_run_custom_aggregate(self, capsys):
+        code = main(["run", "deco_sync", "--nodes", "2", "--window",
+                     "1000", "--windows", "6", "--rate", "10000",
+                     "--aggregate", "avg"])
+        assert code == 0
+
+
+class TestCompare:
+    def test_compare_prints_all_rows(self, capsys):
+        code = main(["compare", "central", "deco_async", "--nodes",
+                     "2", "--window", "1000", "--windows", "6",
+                     "--rate", "10000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "central" in out
+        assert "deco_async" in out
+
+
+class TestExperiment:
+    def test_experiment_list(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig7a", "fig8a", "fig9a", "fig10a", "fig11a",
+                     "micro"):
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_runs_tiny(self, capsys):
+        assert main(["experiment", "fig7a", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out
+        assert "deco_async" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "central"])
+        assert args.nodes == 2
+        assert args.mode == "throughput"
+        assert args.delta_m == 4

@@ -1,0 +1,208 @@
+"""Tests for the metrics layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.records import RunResult, WindowOutcome
+from repro.core.workload import generate_workload
+from repro.errors import ConfigurationError
+from repro.metrics import (bottleneck_throughput, bytes_per_event,
+                           coordination_overhead, correctness,
+                           format_si, format_table,
+                           mean_bandwidth_bytes_per_s, mean_latency,
+                           network_saving, per_node_utilization,
+                           per_window_correctness, percentile_latency,
+                           results_match, sustainable_throughput,
+                           trigger_times, window_latencies,
+                           window_overlap)
+
+
+def make_result(n_windows=6, window_size=100, spacing=1.0,
+                spans=None, busy=None):
+    result = RunResult(scheme="test", n_nodes=2,
+                       window_size=window_size)
+    for g in range(n_windows):
+        result.outcomes.append(WindowOutcome(
+            index=g, result=float(g), emit_time=(g + 1) * spacing,
+            spans=spans[g] if spans else {}))
+    result.sim_time = n_windows * spacing
+    result.node_busy_s = busy or {"root": 1.0, "local-0": 2.0}
+    return result
+
+
+class TestThroughput:
+    def test_steady_state_excludes_warmup(self):
+        result = make_result(n_windows=10, window_size=100, spacing=1.0)
+        # Make the first window pathologically slow.
+        result.outcomes[0].emit_time = 0.001
+        thr = sustainable_throughput(result)  # skip=3 by default
+        assert thr == pytest.approx(100.0)
+
+    def test_explicit_skip_zero(self):
+        result = make_result(n_windows=4, window_size=100, spacing=1.0)
+        assert sustainable_throughput(result, skip=0) == pytest.approx(
+            400 / 4.0)
+
+    def test_small_runs_default_to_no_skip(self):
+        result = make_result(n_windows=4, window_size=100)
+        assert sustainable_throughput(result) == pytest.approx(100.0)
+
+    def test_skip_too_large_rejected(self):
+        result = make_result(n_windows=4)
+        with pytest.raises(ConfigurationError):
+            sustainable_throughput(result, skip=4)
+
+    def test_no_emissions_rejected(self):
+        result = RunResult(scheme="x", n_nodes=1, window_size=10)
+        with pytest.raises(ConfigurationError):
+            sustainable_throughput(result)
+
+    def test_bottleneck_uses_busiest_node(self):
+        result = make_result(n_windows=5, window_size=100,
+                             busy={"root": 1.0, "local-0": 2.5})
+        assert bottleneck_throughput(result) == pytest.approx(500 / 2.5)
+
+    def test_utilization(self):
+        result = make_result(n_windows=5, spacing=1.0,
+                             busy={"root": 2.5})
+        assert per_node_utilization(result)["root"] == pytest.approx(0.5)
+
+    def test_coordination_overhead_bounds(self):
+        result = make_result(n_windows=10, window_size=100,
+                             busy={"root": 5.0})
+        overhead = coordination_overhead(result)
+        assert 0.0 <= overhead < 1.0
+
+
+class TestLatency:
+    def setup_method(self):
+        self.workload = generate_workload(2, 1_000, 6,
+                                          rate_per_node=10_000, seed=1)
+
+    def test_triggers_monotonic(self):
+        triggers = trigger_times(self.workload, batch_size=64)
+        assert np.all(np.diff(triggers) >= 0)
+
+    def test_triggers_at_least_boundary_time(self):
+        triggers = trigger_times(self.workload, batch_size=64)
+        for g in range(self.workload.n_windows):
+            assert triggers[g] >= self.workload.boundary_seconds(g)
+
+    def test_batch_size_one_equals_boundary(self):
+        triggers = trigger_times(self.workload, batch_size=1)
+        for g in range(self.workload.n_windows):
+            assert triggers[g] == pytest.approx(
+                self.workload.boundary_seconds(g), abs=1e-9)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            trigger_times(self.workload, 0)
+
+    def test_latencies_positive_for_late_emits(self):
+        result = RunResult(scheme="x", n_nodes=2, window_size=1_000)
+        triggers = trigger_times(self.workload, 64)
+        for g in range(6):
+            result.outcomes.append(WindowOutcome(
+                index=g, result=0.0, emit_time=triggers[g] + 0.01))
+        lat = window_latencies(result, self.workload, 64)
+        assert np.allclose(lat, 0.01)
+        assert mean_latency(result, self.workload, 64) == \
+            pytest.approx(0.01)
+        assert percentile_latency(result, self.workload, 64, 99) == \
+            pytest.approx(0.01)
+
+    def test_skip_bootstrap_excludes_everything_rejected(self):
+        result = RunResult(scheme="x", n_nodes=2, window_size=1_000)
+        result.outcomes.append(WindowOutcome(index=0, result=0.0,
+                                             emit_time=1.0))
+        with pytest.raises(ConfigurationError):
+            window_latencies(result, self.workload, 64,
+                             skip_bootstrap=3)
+
+
+class TestNetworkMetrics:
+    def test_bytes_per_event(self):
+        result = make_result(n_windows=4, window_size=100)
+        result.bytes_up = 4_000
+        assert bytes_per_event(result) == pytest.approx(10.0)
+
+    def test_network_saving(self):
+        deco = make_result()
+        deco.bytes_up = 100
+        central = make_result()
+        central.bytes_up = 10_000
+        assert network_saving(deco, central) == pytest.approx(0.99)
+
+    def test_saving_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            network_saving(make_result(), make_result())
+
+    def test_mean_bandwidth(self):
+        result = make_result(n_windows=4, spacing=1.0)
+        result.bytes_up = 400
+        assert mean_bandwidth_bytes_per_s(result) == pytest.approx(100.0)
+
+
+class TestCorrectness:
+    def setup_method(self):
+        self.workload = generate_workload(2, 1_000, 4,
+                                          rate_per_node=10_000, seed=2)
+
+    def outcome_with_gt_spans(self, g, shift=0):
+        spans = {a: (self.workload.span(g, a)[0] + shift,
+                     self.workload.span(g, a)[1] + shift)
+                 for a in range(2)}
+        return WindowOutcome(index=g, result=0.0, emit_time=1.0,
+                             spans=spans)
+
+    def test_exact_spans_are_fully_correct(self):
+        result = RunResult(scheme="x", n_nodes=2, window_size=1_000)
+        for g in range(4):
+            result.outcomes.append(self.outcome_with_gt_spans(g))
+        assert correctness(result, self.workload) == 1.0
+        assert per_window_correctness(result, self.workload) == [1.0] * 4
+
+    def test_shifted_spans_lose_overlap(self):
+        result = RunResult(scheme="x", n_nodes=2, window_size=1_000)
+        for g in range(4):
+            result.outcomes.append(self.outcome_with_gt_spans(g,
+                                                              shift=100))
+        value = correctness(result, self.workload)
+        assert 0.5 < value < 1.0
+        assert window_overlap(result, self.workload, 0) == \
+            1_000 - 2 * 100
+
+    def test_missing_window_counts_zero(self):
+        result = RunResult(scheme="x", n_nodes=2, window_size=1_000)
+        result.outcomes.append(self.outcome_with_gt_spans(0))
+        assert correctness(result, self.workload) == pytest.approx(0.25)
+
+    def test_results_match(self):
+        result = RunResult(scheme="x", n_nodes=1, window_size=10)
+        result.outcomes = [
+            WindowOutcome(index=0, result=1.0, emit_time=0.0),
+            WindowOutcome(index=1, result=float("nan"), emit_time=0.0)]
+        assert results_match(result, [1.0, float("nan")])
+        assert not results_match(result, [1.1, float("nan")])
+        assert not results_match(result, [1.0])
+
+
+class TestReport:
+    def test_format_si(self):
+        assert format_si(75_900_000, " ev/s") == "75.90M ev/s"
+        assert format_si(1_500, "B") == "1.50KB"
+        assert format_si(3.2) == "3.20"
+        assert format_si(2.5e9) == "2.50G"
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, "x"], [22, "yyyy"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+        assert all(len(l) <= len(max(lines, key=len)) for l in lines)
+
+    def test_format_table_floats(self):
+        table = format_table(["v"], [[1.23456789]])
+        assert "1.235" in table

@@ -1,0 +1,168 @@
+"""Tests for the gap-tolerant SegmentStore."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.segments import SegmentStore
+from repro.errors import WindowError
+from repro.streams.batch import EventBatch
+
+
+def run_of(start, n):
+    return EventBatch(np.arange(start, start + n), np.ones(n),
+                      np.arange(start, start + n))
+
+
+class TestInsert:
+    def test_insert_and_extract(self):
+        store = SegmentStore()
+        store.insert(10, run_of(10, 5))
+        assert list(store.get_range(11, 14).ids) == [11, 12, 13]
+
+    def test_gapped_runs(self):
+        store = SegmentStore()
+        store.insert(0, run_of(0, 5))
+        store.insert(10, run_of(10, 5))
+        assert store.covers(0, 5)
+        assert store.covers(10, 15)
+        assert not store.covers(0, 12)
+        assert not store.covers(5, 10)
+
+    def test_adjacent_runs_cover_jointly(self):
+        store = SegmentStore()
+        store.insert(0, run_of(0, 5))
+        store.insert(5, run_of(5, 5))
+        assert store.covers(0, 10)
+        assert list(store.get_range(3, 7).ids) == [3, 4, 5, 6]
+
+    def test_out_of_order_insert(self):
+        store = SegmentStore()
+        store.insert(10, run_of(10, 5))
+        store.insert(0, run_of(0, 5))
+        assert store.covers(0, 5)
+        assert store.covers(10, 15)
+
+    def test_empty_insert_ignored(self):
+        store = SegmentStore()
+        store.insert(5, EventBatch.empty())
+        assert store.retained == 0
+
+    def test_overlap_rejected(self):
+        store = SegmentStore()
+        store.insert(0, run_of(0, 5))
+        with pytest.raises(WindowError, match="overlap"):
+            store.insert(3, run_of(3, 5))
+        with pytest.raises(WindowError, match="overlap"):
+            store.insert(0, run_of(0, 2))
+
+    def test_overlap_with_later_run_rejected(self):
+        store = SegmentStore()
+        store.insert(10, run_of(10, 5))
+        with pytest.raises(WindowError, match="overlap"):
+            store.insert(8, run_of(8, 4))
+
+    def test_insert_before_base_rejected(self):
+        store = SegmentStore(base=100)
+        with pytest.raises(WindowError, match="before released base"):
+            store.insert(50, run_of(50, 5))
+
+
+class TestCoversAndRange:
+    def test_empty_range_always_covered(self):
+        store = SegmentStore()
+        assert store.covers(5, 5)
+        assert len(store.get_range(5, 5)) == 0
+
+    def test_uncovered_range_rejected(self):
+        store = SegmentStore()
+        store.insert(0, run_of(0, 3))
+        with pytest.raises(WindowError, match="not fully covered"):
+            store.get_range(0, 5)
+
+    def test_range_before_base_uncovered(self):
+        store = SegmentStore(base=10)
+        store.insert(10, run_of(10, 5))
+        assert not store.covers(8, 12)
+
+    def test_range_spanning_runs(self):
+        store = SegmentStore()
+        store.insert(0, run_of(0, 3))
+        store.insert(3, run_of(3, 3))
+        store.insert(6, run_of(6, 3))
+        assert list(store.get_range(1, 8).ids) == list(range(1, 8))
+
+
+class TestRelease:
+    def test_release_drops_whole_runs(self):
+        store = SegmentStore()
+        store.insert(0, run_of(0, 5))
+        store.insert(5, run_of(5, 5))
+        store.release_before(5)
+        assert store.base == 5
+        assert store.retained == 5
+        assert not store.covers(0, 3)
+
+    def test_release_mid_run(self):
+        store = SegmentStore()
+        store.insert(0, run_of(0, 10))
+        store.release_before(4)
+        assert store.retained == 6
+        assert list(store.get_range(4, 6).ids) == [4, 5]
+
+    def test_release_backwards_noop(self):
+        store = SegmentStore(base=10)
+        store.release_before(5)
+        assert store.base == 10
+
+    def test_release_all(self):
+        store = SegmentStore()
+        store.insert(0, run_of(0, 5))
+        store.release_before(100)
+        assert store.retained == 0
+        assert store.base == 100
+
+
+@st.composite
+def segment_layouts(draw):
+    """Non-overlapping (start, length) runs."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    runs = []
+    pos = 0
+    for _ in range(n):
+        pos += draw(st.integers(min_value=0, max_value=5))  # gap
+        length = draw(st.integers(min_value=1, max_value=8))
+        runs.append((pos, length))
+        pos += length
+    return runs
+
+
+class TestSegmentProperties:
+    @given(segment_layouts(), st.randoms(use_true_random=False))
+    @settings(max_examples=60)
+    def test_coverage_matches_runs(self, runs, rng):
+        shuffled = list(runs)
+        rng.shuffle(shuffled)
+        store = SegmentStore()
+        for start, length in shuffled:
+            store.insert(start, run_of(start, length))
+        covered = {p for start, length in runs
+                   for p in range(start, start + length)}
+        end = max(s + l for s, l in runs)
+        for p in range(end):
+            assert store.covers(p, p + 1) == (p in covered)
+        assert store.retained == len(covered)
+
+    @given(segment_layouts(), st.integers(min_value=0, max_value=40))
+    @settings(max_examples=60)
+    def test_release_preserves_later_coverage(self, runs, cut):
+        store = SegmentStore()
+        for start, length in runs:
+            store.insert(start, run_of(start, length))
+        covered = {p for start, length in runs
+                   for p in range(start, start + length)}
+        store.release_before(cut)
+        end = max(s + l for s, l in runs)
+        for p in range(cut, end):
+            assert store.covers(p, p + 1) == (p in covered)

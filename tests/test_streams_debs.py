@@ -1,0 +1,88 @@
+"""Tests for the synthetic DEBS 2013 soccer trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.debs import (BALL_SENSOR_HZ, PLAYER_SENSOR_HZ,
+                                ReplayValues, Sensor, SoccerTraceGenerator,
+                                default_sensors, replay_dataset)
+
+
+class TestSensors:
+    def test_default_population(self):
+        sensors = default_sensors(4)
+        assert len(sensors) == 5
+        assert sum(1 for s in sensors if s.kind == "ball") == 1
+        assert all(s.frequency_hz == PLAYER_SENSOR_HZ
+                   for s in sensors if s.kind == "player")
+        ball = [s for s in sensors if s.kind == "ball"][0]
+        assert ball.frequency_hz == BALL_SENSOR_HZ
+
+
+class TestSoccerTraceGenerator:
+    def test_player_speeds_bounded(self):
+        gen = SoccerTraceGenerator(Sensor(0, "player", 200), seed=0)
+        speeds = gen.values(5000)
+        assert speeds.min() >= 0.0
+        assert speeds.max() <= SoccerTraceGenerator.MAX_PLAYER_SPEED
+
+    def test_ball_faster_than_player(self):
+        player = SoccerTraceGenerator(Sensor(0, "player", 200), seed=0)
+        ball = SoccerTraceGenerator(Sensor(1, "ball", 2000), seed=0)
+        assert ball.values(5000).max() > player.values(5000).max()
+
+    def test_continuity_across_calls(self):
+        gen = SoccerTraceGenerator(seed=0)
+        a = gen.values(100)
+        b = gen.values(100)
+        # The walk continues: the jump across the call boundary is no
+        # larger than plausible single-step acceleration.
+        assert abs(b[0] - a[-1]) < 10.0
+
+    def test_deterministic(self):
+        a = SoccerTraceGenerator(seed=5).values(200)
+        b = SoccerTraceGenerator(seed=5).values(200)
+        assert np.array_equal(a, b)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SoccerTraceGenerator(Sensor(0, "drone", 100))
+
+
+class TestReplayDataset:
+    def test_length(self):
+        assert len(replay_dataset(1000, seed=0)) == 1000
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigurationError):
+            replay_dataset(0)
+
+    def test_values_plausible(self):
+        data = replay_dataset(2000, seed=1)
+        assert data.min() >= 0.0
+        assert data.max() <= SoccerTraceGenerator.MAX_BALL_SPEED
+
+
+class TestReplayValues:
+    def test_sequential_replay(self):
+        dataset = np.arange(10, dtype=float)
+        rv = ReplayValues(dataset)
+        assert list(rv.values(4)) == [0, 1, 2, 3]
+        assert list(rv.values(4)) == [4, 5, 6, 7]
+
+    def test_wrap_around(self):
+        rv = ReplayValues(np.arange(5, dtype=float), offset=3)
+        assert list(rv.values(4)) == [3, 4, 0, 1]
+
+    def test_offset_modulo(self):
+        rv = ReplayValues(np.arange(5, dtype=float), offset=12)
+        assert list(rv.values(2)) == [2, 3]
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplayValues(np.empty(0))
+
+    def test_replay_longer_than_dataset(self):
+        rv = ReplayValues(np.arange(3, dtype=float))
+        assert list(rv.values(7)) == [0, 1, 2, 0, 1, 2, 0]

@@ -1,0 +1,156 @@
+"""Tests for the synthetic stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.event import TICKS_PER_SECOND
+from repro.streams.generator import (BurstyGenerator, ConstantValues,
+                                     GaussianValues, RateChangeGenerator,
+                                     UniformValues, replayed_offsets)
+
+
+class TestRateChangeGenerator:
+    def test_sequential_ids(self):
+        gen = RateChangeGenerator(1000, 0.0, seed=1)
+        a = gen.generate(100)
+        b = gen.generate(50)
+        assert list(a.ids) == list(range(100))
+        assert list(b.ids) == list(range(100, 150))
+
+    def test_monotonic_timestamps_across_calls(self):
+        gen = RateChangeGenerator(500, 0.5, seed=2)
+        a = gen.generate(300)
+        b = gen.generate(300)
+        ts = np.concatenate([a.ts, b.ts])
+        assert np.all(np.diff(ts) >= 0)
+
+    def test_constant_rate_spacing(self):
+        gen = RateChangeGenerator(100, 0.0, seed=0)
+        batch = gen.generate(100)  # exactly one epoch at 100 ev/s
+        spacing = np.diff(batch.ts)
+        assert np.all(np.abs(spacing - TICKS_PER_SECOND / 100) <= 1)
+
+    def test_rate_change_bounds(self):
+        # With 5% change the per-second event count must stay in [95, 105].
+        gen = RateChangeGenerator(100, 0.05, seed=3)
+        batch = gen.generate_seconds(50)
+        seconds = batch.ts // TICKS_PER_SECOND
+        counts = np.bincount(seconds)
+        assert counts.min() >= 95
+        assert counts.max() <= 105
+
+    def test_zero_change_stable_rate(self):
+        gen = RateChangeGenerator(200, 0.0, seed=4)
+        batch = gen.generate_seconds(10)
+        counts = np.bincount(batch.ts // TICKS_PER_SECOND)
+        assert np.all(counts == 200)
+
+    def test_determinism(self):
+        a = RateChangeGenerator(100, 0.3, seed=7).generate(500)
+        b = RateChangeGenerator(100, 0.3, seed=7).generate(500)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = RateChangeGenerator(100, 0.3, seed=1).generate(500)
+        b = RateChangeGenerator(100, 0.3, seed=2).generate(500)
+        assert a != b
+
+    def test_generate_zero(self):
+        assert len(RateChangeGenerator(100).generate(0)) == 0
+
+    def test_generate_seconds_counts(self):
+        gen = RateChangeGenerator(1000, 0.0, seed=0)
+        batch = gen.generate_seconds(3.0)
+        assert len(batch) == 3000
+
+    def test_generate_seconds_then_generate_no_overlap(self):
+        gen = RateChangeGenerator(100, 0.0, seed=0)
+        a = gen.generate_seconds(1.0)
+        b = gen.generate(10)
+        assert b.first_ts >= a.last_ts
+
+    def test_batches_iterator(self):
+        gen = RateChangeGenerator(100, 0.0, seed=0)
+        it = gen.batches(64)
+        first, second = next(it), next(it)
+        assert len(first) == len(second) == 64
+        assert second.first_ts >= first.last_ts
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base_rate": 0},
+        {"base_rate": -5},
+        {"base_rate": 10, "change_fraction": 1.5},
+        {"base_rate": 10, "change_fraction": -0.1},
+        {"base_rate": 10, "epoch_seconds": 0},
+    ])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RateChangeGenerator(**kwargs)
+
+    def test_invalid_batch_size(self):
+        gen = RateChangeGenerator(10)
+        with pytest.raises(ConfigurationError):
+            next(gen.batches(0))
+
+    def test_negative_n_events(self):
+        with pytest.raises(ConfigurationError):
+            RateChangeGenerator(10).generate(-1)
+
+
+class TestValueSources:
+    def test_constant(self):
+        vals = ConstantValues(3.5).values(10, np.random.default_rng(0))
+        assert np.all(vals == 3.5)
+
+    def test_uniform_bounds(self):
+        vals = UniformValues(2.0, 4.0).values(1000,
+                                              np.random.default_rng(0))
+        assert vals.min() >= 2.0
+        assert vals.max() < 4.0
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ConfigurationError):
+            UniformValues(4.0, 2.0)
+
+    def test_gaussian_moments(self):
+        vals = GaussianValues(10.0, 2.0).values(20_000,
+                                                np.random.default_rng(0))
+        assert vals.mean() == pytest.approx(10.0, abs=0.1)
+        assert vals.std() == pytest.approx(2.0, abs=0.1)
+
+    def test_gaussian_invalid(self):
+        with pytest.raises(ConfigurationError):
+            GaussianValues(0.0, -1.0)
+
+
+class TestBurstyGenerator:
+    def test_gap_between_bursts(self):
+        gen = BurstyGenerator(100, on_seconds=1.0, off_seconds=2.0, seed=0)
+        batch = gen.generate(250)
+        gaps = np.diff(batch.ts)
+        # The inter-burst gap must be at least the off phase.
+        assert gaps.max() >= 2.0 * TICKS_PER_SECOND
+
+    def test_exact_count(self):
+        gen = BurstyGenerator(100, on_seconds=0.5, off_seconds=0.1, seed=0)
+        assert len(gen.generate(173)) == 173
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            BurstyGenerator(100, on_seconds=0)
+        with pytest.raises(ConfigurationError):
+            BurstyGenerator(100, on_seconds=1, off_seconds=-1)
+
+
+class TestReplayedOffsets:
+    def test_distinct(self):
+        offsets = replayed_offsets(8, 1000, seed=1)
+        assert len(set(offsets.tolist())) == 8
+        assert offsets.max() < 1000
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            replayed_offsets(0, 100)
+        with pytest.raises(ConfigurationError):
+            replayed_offsets(10, 5)

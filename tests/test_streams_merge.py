@@ -1,0 +1,154 @@
+"""Tests for stable merges and ground-truth window splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, StreamError
+from repro.streams.batch import EventBatch
+from repro.streams.generator import RateChangeGenerator
+from repro.streams.merge import (actual_local_sizes, global_windows,
+                                 merge_batches,
+                                 window_boundaries_per_source)
+
+
+def batch_with_ts(ts, id_start=0):
+    ts = np.asarray(ts, dtype=np.int64)
+    return EventBatch(np.arange(id_start, id_start + len(ts)),
+                      np.zeros(len(ts)), ts)
+
+
+class TestMergeBatches:
+    def test_simple_interleave(self):
+        a = batch_with_ts([1, 4, 7])
+        b = batch_with_ts([2, 3, 9], id_start=10)
+        merged, source = merge_batches([a, b])
+        assert list(merged.ts) == [1, 2, 3, 4, 7, 9]
+        assert list(source) == [0, 1, 1, 0, 0, 1]
+
+    def test_tie_break_first_input_wins(self):
+        a = batch_with_ts([5])
+        b = batch_with_ts([5], id_start=10)
+        merged, source = merge_batches([a, b])
+        assert list(source) == [0, 1]
+        assert list(merged.ids) == [0, 10]
+
+    def test_single_input(self):
+        a = batch_with_ts([1, 2, 3])
+        merged, source = merge_batches([a])
+        assert merged == a
+        assert np.all(source == 0)
+
+    def test_empty_inputs(self):
+        merged, source = merge_batches([EventBatch.empty(),
+                                        EventBatch.empty()])
+        assert len(merged) == 0
+        assert len(source) == 0
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_batches([])
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(StreamError, match="not timestamp-sorted"):
+            merge_batches([batch_with_ts([5, 3])])
+
+    def test_restriction_preserves_per_source_order(self):
+        gens = [RateChangeGenerator(100, 0.5, seed=s) for s in range(3)]
+        streams = [g.generate(200) for g in gens]
+        merged, source = merge_batches(streams)
+        for i, stream in enumerate(streams):
+            restricted = merged.ids[source == i]
+            assert list(restricted) == list(stream.ids)
+
+
+class TestActualLocalSizes:
+    def test_counts_sum_to_window_size(self):
+        streams = [RateChangeGenerator(100, 0.3, seed=s).generate(1000)
+                   for s in range(4)]
+        _, source = merge_batches(streams)
+        sizes = actual_local_sizes(source, 500, 4)
+        assert sizes.shape == (8, 4)
+        assert np.all(sizes.sum(axis=1) == 500)
+
+    def test_equal_rates_near_equal_split(self):
+        streams = [RateChangeGenerator(100, 0.0, seed=0).generate(1000)
+                   for _ in range(2)]
+        _, source = merge_batches(streams)
+        sizes = actual_local_sizes(source, 200, 2)
+        # Identical deterministic streams interleave 1:1.
+        assert np.all(sizes == 100)
+
+    def test_rate_proportionality(self):
+        fast = RateChangeGenerator(300, 0.0, seed=0).generate(3000)
+        slow = RateChangeGenerator(100, 0.0, seed=0).generate(1000)
+        _, source = merge_batches([fast, slow])
+        sizes = actual_local_sizes(source, 1000, 2)
+        # Section 4.1 example: split proportional to event rates (3:1).
+        assert np.all(np.abs(sizes[:, 0] - 750) <= 2)
+
+    def test_incomplete_tail_ignored(self):
+        sizes = actual_local_sizes(np.zeros(7, dtype=np.int64), 3, 1)
+        assert sizes.shape == (2, 1)
+
+    def test_invalid_window_size(self):
+        with pytest.raises(ConfigurationError):
+            actual_local_sizes(np.zeros(5, dtype=np.int64), 0, 1)
+
+
+class TestWindowBoundaries:
+    def test_cumulative(self):
+        source = np.array([0, 1, 0, 0, 1, 1], dtype=np.int64)
+        bounds = window_boundaries_per_source(source, 3, 2)
+        assert bounds.tolist() == [[2, 1], [3, 3]]
+
+
+class TestGlobalWindows:
+    def test_partition(self):
+        merged = batch_with_ts(range(10))
+        windows = global_windows(merged, 4)
+        assert len(windows) == 2
+        assert list(windows[0].ts) == [0, 1, 2, 3]
+        assert list(windows[1].ts) == [4, 5, 6, 7]
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            global_windows(batch_with_ts([1]), 0)
+
+
+@st.composite
+def source_streams(draw):
+    n_sources = draw(st.integers(min_value=1, max_value=4))
+    streams = []
+    for i in range(n_sources):
+        n = draw(st.integers(min_value=0, max_value=40))
+        ts = sorted(draw(st.lists(
+            st.integers(min_value=0, max_value=100),
+            min_size=n, max_size=n)))
+        streams.append(batch_with_ts(ts, id_start=i * 1000))
+    return streams
+
+
+class TestMergeProperties:
+    @given(source_streams())
+    @settings(max_examples=60)
+    def test_merge_is_sorted_permutation(self, streams):
+        merged, source = merge_batches(streams)
+        assert merged.is_ts_sorted()
+        assert len(merged) == sum(len(s) for s in streams)
+        all_ids = sorted(
+            int(i) for s in streams for i in s.ids.tolist())
+        assert sorted(merged.ids.tolist()) == all_ids
+
+    @given(source_streams(), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60)
+    def test_window_sizes_partition_global_window(self, streams, window):
+        merged, source = merge_batches(streams)
+        sizes = actual_local_sizes(source, window, len(streams))
+        assert np.all(sizes.sum(axis=1) == window)
+        # Cumulative per-source boundaries never exceed stream lengths.
+        bounds = window_boundaries_per_source(source, window, len(streams))
+        for i, s in enumerate(streams):
+            if len(bounds):
+                assert bounds[-1, i] <= len(s)
