@@ -8,6 +8,12 @@ documentation can reference them.
 
 Scale: set ``REPRO_SCALE`` (default 0.5) to shrink/grow workloads;
 1.0 reproduces the default benchmark scale documented in DESIGN.md.
+
+Parallelism: the experiment drivers fan their independent scheme runs
+out over ``REPRO_JOBS`` worker processes (default: CPU count; set
+``REPRO_JOBS=1`` to force the serial in-process path).  Workloads are
+generated once per distinct parameter tuple and shared through the
+``.npz`` cache (``REPRO_WORKLOAD_CACHE`` overrides its directory).
 """
 
 import os

@@ -10,6 +10,7 @@ Public entry points:
 * :mod:`repro.streams`, :mod:`repro.windows`, :mod:`repro.aggregates` —
   the streaming substrates.
 * :mod:`repro.sim` — the discrete-event cluster simulator.
+* :mod:`repro.sweep` — the parallel sweep executor (``REPRO_JOBS``).
 * :mod:`repro.experiments` — one module per paper figure/table.
 """
 

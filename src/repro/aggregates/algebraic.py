@@ -38,7 +38,15 @@ class Average(AggregateFunction):
     def lift(self, batch: EventBatch) -> SumCount:
         if len(batch) == 0:
             return self.identity()
-        return SumCount(float(np.sum(batch.values)), len(batch))
+        return SumCount(float(batch.values.sum()), len(batch))
+
+    def scalar_lift(self, batch: EventBatch) -> SumCount:
+        total = 0.0
+        count = 0
+        for v in batch.values.tolist():
+            total += v
+            count += 1
+        return SumCount(total, count)
 
     def combine(self, left: SumCount, right: SumCount) -> SumCount:
         return SumCount(left.total + right.total, left.count + right.count)

@@ -74,6 +74,19 @@ class AggregateFunction(ABC):
     def lower(self, partial: Any) -> float:
         """Extract the final result from a partial aggregate."""
 
+    def scalar_lift(self, batch: EventBatch) -> Any:
+        """Reference lift: fold the batch one event at a time.
+
+        The verification oracle for the vectorized :meth:`lift`
+        kernels — the test suite asserts both paths agree on randomized
+        batches.  Subclasses with vectorized lifts override this with a
+        plain-Python loop; the default folds singleton lifts.
+        """
+        acc = self.identity()
+        for i in range(len(batch)):
+            acc = self.combine(acc, self.lift(batch[i:i + 1]))
+        return acc
+
     # -- conveniences ------------------------------------------------------
 
     def combine_all(self, partials: Iterable[Any]) -> Any:

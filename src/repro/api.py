@@ -15,12 +15,18 @@ Typical use::
 backpressured at each node — and reports sustainable throughput.
 ``mode="latency"`` paces input at event time and reports steady-state
 window latency.
+
+Sweeps parallelize: :func:`compare` and :func:`compare_grid` fan their
+independent runs out over worker processes via
+:class:`repro.sweep.SweepExecutor` (``jobs=`` argument, ``REPRO_JOBS``
+environment variable, default ``os.cpu_count()``; ``jobs=1`` is the
+in-process serial path with bit-identical results).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.records import RunResult
 from repro.core.runner import RunConfig, run_scheme
@@ -29,6 +35,7 @@ from repro.errors import ConfigurationError
 from repro.metrics.correctness import correctness as _correctness
 from repro.metrics.latency import percentile_latency
 from repro.metrics.throughput import sustainable_throughput
+from repro.sweep import SweepExecutor
 
 # Ensure every built-in scheme is registered on import.
 import repro.core  # noqa: F401  (registers deco_* schemes)
@@ -71,6 +78,32 @@ class RunSummary:
         return "  ".join(parts)
 
 
+def _make_config(scheme: str, *, mode: str = "throughput", seed: int = 0,
+                 **config_kwargs) -> RunConfig:
+    """Build the :class:`RunConfig` of one scheme run (validates mode)."""
+    if mode not in ("throughput", "latency"):
+        raise ConfigurationError(
+            f"mode must be 'throughput' or 'latency', got {mode!r}")
+    return RunConfig(scheme=scheme, seed=seed,
+                     saturated=(mode == "throughput"), **config_kwargs)
+
+
+def _summarize(config: RunConfig, mode: str, result: RunResult,
+               workload: Workload) -> RunSummary:
+    """Package one finished run into a :class:`RunSummary`."""
+    summary = RunSummary(
+        scheme=config.scheme, mode=mode, result=result, workload=workload,
+        total_bytes=result.total_bytes,
+        correctness=_correctness(result, workload),
+        correction_steps=result.correction_steps)
+    if mode == "throughput":
+        summary.throughput = sustainable_throughput(result)
+    else:
+        summary.latency_s = percentile_latency(
+            result, workload, config.resolved_batch_size(), 50.0)
+    return summary
+
+
 def run(scheme: str, *, n_nodes: int = 2, window_size: int = 10_000,
         n_windows: int = 10, rate_per_node: float = 100_000.0,
         rate_change: float = 0.01, aggregate: str = "sum",
@@ -93,40 +126,69 @@ def run(scheme: str, *, n_nodes: int = 2, window_size: int = 10_000,
         **config_kwargs: Extra :class:`RunConfig` fields (profiles,
             bandwidth, delta_m, ...).
     """
-    if mode not in ("throughput", "latency"):
-        raise ConfigurationError(
-            f"mode must be 'throughput' or 'latency', got {mode!r}")
-    config = RunConfig(
-        scheme=scheme, n_nodes=n_nodes, window_size=window_size,
-        n_windows=n_windows, rate_per_node=rate_per_node,
-        rate_change=rate_change, aggregate=aggregate, seed=seed,
-        saturated=(mode == "throughput"), **config_kwargs)
+    config = _make_config(
+        scheme, mode=mode, seed=seed, n_nodes=n_nodes,
+        window_size=window_size, n_windows=n_windows,
+        rate_per_node=rate_per_node, rate_change=rate_change,
+        aggregate=aggregate, **config_kwargs)
     result, used_workload = run_scheme(config, workload)
-    summary = RunSummary(
-        scheme=scheme, mode=mode, result=result, workload=used_workload,
-        total_bytes=result.total_bytes,
-        correctness=_correctness(result, used_workload),
-        correction_steps=result.correction_steps)
-    if mode == "throughput":
-        summary.throughput = sustainable_throughput(result)
-    else:
-        summary.latency_s = percentile_latency(
-            result, used_workload, config.resolved_batch_size(), 50.0)
-    return summary
+    return _summarize(config, mode, result, used_workload)
 
 
 def compare(schemes: Sequence[str], *, seed: int = 0,
+            jobs: Optional[int] = None,
             **kwargs) -> Dict[str, RunSummary]:
     """Run several schemes over the *same* workload.
 
-    Returns a dict keyed by scheme name, in input order.
+    Returns a dict keyed by scheme name, in input order.  The runs are
+    independent simulations and fan out over ``jobs`` worker processes
+    (see :mod:`repro.sweep`); ``jobs=1`` runs them serially in-process
+    with bit-identical results.
     """
     if not schemes:
         raise ConfigurationError("no schemes given")
-    summaries: Dict[str, RunSummary] = {}
-    shared: Optional[Workload] = None
-    for scheme in schemes:
-        summary = run(scheme, seed=seed, workload=shared, **kwargs)
-        shared = summary.workload
-        summaries[scheme] = summary
-    return summaries
+    return compare_grid(schemes, [{}], seed=seed, jobs=jobs, **kwargs)[0]
+
+
+def compare_grid(schemes: Sequence[str],
+                 points: Sequence[Mapping],
+                 *, seed: int = 0, mode: str = "throughput",
+                 jobs: Optional[int] = None,
+                 **common) -> List[Dict[str, RunSummary]]:
+    """Run a sweep: every scheme at every grid point, in parallel.
+
+    ``points`` is a sequence of per-point :class:`RunConfig` overrides
+    (e.g. ``[{"n_nodes": 2}, {"n_nodes": 4}]``) merged over the shared
+    ``common`` kwargs.  All ``len(schemes) * len(points)`` runs are
+    independent and execute on a single :class:`SweepExecutor`, so the
+    whole grid — not just one point — parallelizes, and each distinct
+    workload is generated once and shared across the scheme runs that
+    consume it.
+
+    Returns one ``{scheme: RunSummary}`` dict per point, in point order.
+    """
+    if not schemes:
+        raise ConfigurationError("no schemes given")
+    points = [dict(p) for p in points]
+    if not points:
+        return []
+    configs: List[RunConfig] = []
+    modes: List[str] = []
+    for point in points:
+        merged = {**common, **point}
+        point_mode = merged.pop("mode", mode)
+        for scheme in schemes:
+            configs.append(_make_config(scheme, mode=point_mode,
+                                        seed=seed, **merged))
+            modes.append(point_mode)
+    pairs = SweepExecutor(jobs=jobs).run_with_workloads(configs)
+    out: List[Dict[str, RunSummary]] = []
+    it = zip(configs, modes, pairs)
+    for point in points:
+        summaries: Dict[str, RunSummary] = {}
+        for scheme in schemes:
+            config, run_mode, (result, workload) = next(it)
+            summaries[scheme] = _summarize(config, run_mode, result,
+                                           workload)
+        out.append(summaries)
+    return out

@@ -11,6 +11,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -94,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--delta-m", type=int, default=4)
         p.add_argument("--min-delta", type=int, default=4)
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for sweeps (default: "
+                            "$REPRO_JOBS, then CPU count; 1 = serial)")
 
     run_p = sub.add_parser("run", help="run one scheme")
     run_p.add_argument("scheme")
@@ -109,6 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("name", help="figure id, e.g. fig7a (or 'list')")
     exp_p.add_argument("--scale", type=float, default=0.5,
                        help="workload scale factor")
+    exp_p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the sweep (default: "
+                            "$REPRO_JOBS, then CPU count; 1 = serial)")
     return parser
 
 
@@ -148,13 +155,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "compare":
-        results = compare(args.schemes_list, **_run_kwargs(args))
+        results = compare(args.schemes_list, jobs=args.jobs,
+                          **_run_kwargs(args))
         print(format_table(headers,
                            [_summary_row(n, s)
                             for n, s in results.items()]))
         return 0
 
     if args.command == "experiment":
+        if args.jobs is not None:
+            # The figure drivers resolve workers from $REPRO_JOBS.
+            os.environ["REPRO_JOBS"] = str(args.jobs)
         _register_experiments()
         if args.name == "list":
             for name in sorted(_EXPERIMENTS):

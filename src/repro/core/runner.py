@@ -22,7 +22,7 @@ from repro.core.context import SchemeContext
 from repro.core.protocol import SourceBatch, make_sizer
 from repro.core.query import Query, tumbling_count_query
 from repro.core.records import RunResult
-from repro.core.workload import Workload, generate_workload
+from repro.core.workload import Workload, WorkloadSpec, default_cache
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.network import DEFAULT_LATENCY_S, ETHERNET_25G
 from repro.sim.node import INTEL_XEON, NodeProfile
@@ -124,6 +124,21 @@ class RunConfig:
     #: None disables timeouts (reliable fabric).
     retransmit_timeout_s: Optional[float] = None
 
+    def workload_key(self) -> WorkloadSpec:
+        """The generation-parameter tuple of this run's workload.
+
+        Runs whose configs map to an equal spec consume bit-identical
+        workloads; the sweep executor and the workload cache use this
+        to generate each distinct workload once and share it across
+        scheme runs.
+        """
+        return WorkloadSpec(
+            n_nodes=self.n_nodes, window_size=self.window_size,
+            n_windows=self.n_windows, rate_per_node=self.rate_per_node,
+            rate_change=self.rate_change,
+            epoch_seconds=self.epoch_seconds, seed=self.seed,
+            margin=self.margin, streams_per_node=self.streams_per_node)
+
     def resolved_batch_size(self) -> int:
         if self.batch_size is not None:
             if self.batch_size < 1:
@@ -144,13 +159,7 @@ def build_run(config: RunConfig,
     """Construct the topology + context for a config (without running)."""
     spec = get_scheme(config.scheme)
     if workload is None:
-        workload = generate_workload(
-            config.n_nodes, config.window_size, config.n_windows,
-            rate_per_node=config.rate_per_node,
-            rate_change=config.rate_change,
-            epoch_seconds=config.epoch_seconds, seed=config.seed,
-            margin=config.margin,
-            streams_per_node=config.streams_per_node)
+        workload = default_cache().get(config.workload_key())
     query = tumbling_count_query(
         config.window_size, config.aggregate, delta_m=config.delta_m,
         min_delta=config.min_delta)
@@ -242,7 +251,8 @@ class _SourceFeeder:
     def _feed(self) -> None:
         if self._pos >= self._limit:
             return
-        behavior = self._node.behavior
+        node = self._node
+        behavior = node.behavior
         if (behavior is not None and hasattr(behavior, "input_paused")
                 and behavior.input_paused()):
             # Bounded node memory: hold the input until the protocol
@@ -252,10 +262,10 @@ class _SourceFeeder:
         end = min(self._pos + self._batch_size, self._limit)
         batch = self._stream.slice_range(self._pos, end)
         self._pos = end
-        self._node.deliver(SourceBatch(sender=self._sender, events=batch))
+        node.deliver(SourceBatch(sender=self._sender, events=batch))
         # The node's CPU frees exactly when this batch's handler ran;
         # feed the next batch then.
-        self._sim.schedule_at(self._node._cpu_free_at, self._feed)
+        self._sim.schedule_at(node.cpu_free_at, self._feed)
 
 
 def collect(topo: StarTopology, ctx: SchemeContext) -> RunResult:
@@ -266,8 +276,7 @@ def collect(topo: StarTopology, ctx: SchemeContext) -> RunResult:
     result.bytes_down = net.bytes_from(ROOT_NAME)
     total = net.total_bytes()
     result.bytes_peer = total - result.bytes_up - result.bytes_down
-    result.messages = sum(
-        link.stats.messages_sent for link in net._links.values())
+    result.messages = net.total_messages()
     result.node_busy_s = {
         name: node.metrics.busy_s for name, node in net.nodes().items()}
     ingress = net.nic(ROOT_NAME, "ingress")

@@ -19,9 +19,14 @@ boundaries serve two purposes:
 
 from __future__ import annotations
 
+import hashlib
 import math
+import os
+import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -177,3 +182,195 @@ def generate_workload(n_nodes: int, window_size: int, n_windows: int, *,
             merged, _ = merge_batches(node_streams)
             streams.append(merged)
     return build_workload(streams, window_size, n_windows)
+
+
+# -- content-addressed workload cache -----------------------------------------
+#
+# Every sweep in the evaluation runs several schemes over the *same*
+# workload, and re-running an experiment regenerates the exact same
+# multi-million-event streams (generation is seed-deterministic).  The
+# cache keys a workload by its full generation-parameter tuple so each
+# distinct workload is generated once per process (in-memory LRU) and
+# once per machine (``.npz`` spill files that parallel sweep workers —
+# and later processes — load with ``np.load`` instead of regenerating).
+
+#: Environment variable overriding the spill directory.
+SPILL_DIR_ENV = "REPRO_WORKLOAD_CACHE"
+
+#: Salt mixed into every cache key; bump when the generator's semantics
+#: (or the spill layout) change so stale spill files never resurface.
+GENERATOR_VERSION = 1
+
+
+def default_spill_dir() -> Path:
+    """The on-disk spill directory (``$REPRO_WORKLOAD_CACHE`` or a
+    per-user directory under the system temp dir)."""
+    env = os.environ.get(SPILL_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path(tempfile.gettempdir()) / "repro-workload-cache"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The full generation-parameter tuple of one workload.
+
+    Hashable and deterministic: two equal specs generate bit-identical
+    workloads (generation is driven entirely by these fields and the
+    seeded RNG), which is what makes content-addressed caching sound.
+    Workloads built from explicit streams or custom ``value_sources``
+    have no spec and bypass the cache.
+    """
+
+    n_nodes: int
+    window_size: int
+    n_windows: int
+    rate_per_node: float = 100_000.0
+    rate_change: float = 0.01
+    epoch_seconds: float = 1.0
+    seed: int = 0
+    margin: Optional[float] = None
+    streams_per_node: int = 1
+    rates: Optional[Tuple[float, ...]] = None
+
+    def key(self) -> str:
+        """Stable content hash of the parameter tuple."""
+        canon = repr((GENERATOR_VERSION, self.n_nodes, self.window_size,
+                      self.n_windows, self.rate_per_node,
+                      self.rate_change, self.epoch_seconds, self.seed,
+                      self.margin, self.streams_per_node, self.rates))
+        return hashlib.sha256(canon.encode()).hexdigest()
+
+    def generate(self) -> Workload:
+        """Generate the workload this spec describes (cache miss path)."""
+        return generate_workload(
+            self.n_nodes, self.window_size, self.n_windows,
+            rate_per_node=self.rate_per_node,
+            rate_change=self.rate_change,
+            epoch_seconds=self.epoch_seconds, seed=self.seed,
+            margin=self.margin,
+            rates=list(self.rates) if self.rates is not None else None,
+            streams_per_node=self.streams_per_node)
+
+
+def save_workload(path: Path, workload: Workload) -> None:
+    """Persist a workload as an ``.npz`` archive (atomic replace)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {
+        "meta": np.array([workload.window_size, workload.n_windows,
+                          workload.n_nodes], dtype=np.int64),
+        "bounds": workload.bounds,
+        "boundary_ts": workload.boundary_ts,
+    }
+    for i, stream in enumerate(workload.streams):
+        arrays[f"ids_{i}"] = stream.ids
+        arrays[f"values_{i}"] = stream.values
+        arrays[f"ts_{i}"] = stream.ts
+    fd, tmp = tempfile.mkstemp(suffix=".npz", dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def load_workload(path: Path) -> Workload:
+    """Load a workload spilled by :func:`save_workload`.
+
+    Round-trips exactly: ``.npz`` stores the raw int64/float64 columns,
+    so a loaded workload drives a bit-identical simulation.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        window_size, n_windows, n_nodes = archive["meta"].tolist()
+        streams = [EventBatch(archive[f"ids_{i}"],
+                              archive[f"values_{i}"],
+                              archive[f"ts_{i}"])
+                   for i in range(n_nodes)]
+        return Workload(streams=streams, window_size=int(window_size),
+                        n_windows=int(n_windows),
+                        bounds=archive["bounds"],
+                        boundary_ts=archive["boundary_ts"])
+
+
+class WorkloadCache:
+    """Two-level content-addressed workload cache.
+
+    Level 1 is an in-process LRU of :class:`Workload` objects; level 2
+    is the ``.npz`` spill directory shared across processes.  ``get``
+    generates a workload at most once per distinct spec and records
+    hit/miss statistics (the test suite asserts a sweep generates each
+    workload exactly once).
+    """
+
+    def __init__(self, capacity: int = 8,
+                 spill_dir: Optional[Path] = None,
+                 spill: bool = True):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.spill_dir = Path(spill_dir) if spill_dir is not None \
+            else default_spill_dir()
+        self.spill = spill
+        self._lru: "OrderedDict[str, Workload]" = OrderedDict()
+        #: Satisfied from the in-process LRU.
+        self.memory_hits = 0
+        #: Satisfied by loading a spill file.
+        self.spill_hits = 0
+        #: Cache misses that ran the generator.
+        self.generated = 0
+
+    def path(self, spec: WorkloadSpec) -> Path:
+        """Spill-file location of one spec's workload."""
+        return self.spill_dir / f"wl1_{spec.key()}.npz"
+
+    def get(self, spec: WorkloadSpec) -> Workload:
+        """The spec's workload — from memory, spill, or the generator."""
+        key = spec.key()
+        cached = self._lru.get(key)
+        if cached is not None:
+            self._lru.move_to_end(key)
+            self.memory_hits += 1
+            return cached
+        path = self.path(spec)
+        if self.spill and path.exists():
+            workload = load_workload(path)
+            self.spill_hits += 1
+        else:
+            workload = spec.generate()
+            self.generated += 1
+            if self.spill:
+                save_workload(path, workload)
+        self._lru[key] = workload
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+        return workload
+
+    def ensure_spilled(self, spec: WorkloadSpec) -> Path:
+        """Materialize the spec's spill file and return its path."""
+        if not self.spill:
+            raise ConfigurationError("cache has spilling disabled")
+        self.get(spec)
+        return self.path(spec)
+
+    def clear(self, spill: bool = False) -> None:
+        """Drop the in-memory LRU; optionally delete spill files too."""
+        self._lru.clear()
+        if spill and self.spill_dir.is_dir():
+            for file in self.spill_dir.glob("wl1_*.npz"):
+                file.unlink(missing_ok=True)
+
+
+_DEFAULT_CACHE: Optional[WorkloadCache] = None
+
+
+def default_cache() -> WorkloadCache:
+    """The process-wide workload cache (created on first use)."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = WorkloadCache()
+    return _DEFAULT_CACHE

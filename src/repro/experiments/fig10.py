@@ -17,9 +17,9 @@ computing a sum over a tumbling count window.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.api import RunSummary, compare
+from repro.api import RunSummary, compare_grid
 from repro.experiments.config import (ADAPTIVITY_SCHEMES, common_kwargs,
                                       scaled)
 
@@ -43,32 +43,32 @@ def _common(scale: float) -> Dict:
 
 
 def run_rate_change_sweep(scale: float = 1.0, seed: int = 0,
-                          changes: Sequence[float] = RATE_CHANGES
+                          changes: Sequence[float] = RATE_CHANGES,
+                          jobs: Optional[int] = None
                           ) -> Dict[float, Dict[str, RunSummary]]:
-    """Figs. 10a-10d: one saturated run per scheme per change value."""
-    kwargs = _common(scale)
-    out: Dict[float, Dict[str, RunSummary]] = {}
-    for change in changes:
-        out[change] = compare(list(ADAPTIVITY_SCHEMES),
-                              rate_change=change, mode="throughput",
-                              seed=seed, **kwargs)
-    return out
+    """Figs. 10a-10d: one saturated run per scheme per change value.
+
+    The whole (change x scheme) grid fans out over one sweep executor.
+    """
+    points = [dict(rate_change=change) for change in changes]
+    grids = compare_grid(list(ADAPTIVITY_SCHEMES), points,
+                         mode="throughput", seed=seed, jobs=jobs,
+                         **_common(scale))
+    return dict(zip(changes, grids))
 
 
 def run_window_size_sweep(scale: float = 1.0, rate_change: float = 0.01,
                           seed: int = 0,
-                          sizes: Sequence[int] = WINDOW_SIZES
+                          sizes: Sequence[int] = WINDOW_SIZES,
+                          jobs: Optional[int] = None
                           ) -> Dict[int, Dict[str, RunSummary]]:
     """Figs. 10e-10f: sweep the global window size."""
-    kwargs = _common(scale)
-    out: Dict[int, Dict[str, RunSummary]] = {}
-    for size in sizes:
-        kwargs = dict(kwargs)
-        kwargs["window_size"] = max(512, int(size * scale))
-        out[size] = compare(list(ADAPTIVITY_SCHEMES),
-                            rate_change=rate_change, mode="throughput",
-                            seed=seed, **kwargs)
-    return out
+    points = [dict(window_size=max(512, int(size * scale)))
+              for size in sizes]
+    grids = compare_grid(list(ADAPTIVITY_SCHEMES), points,
+                         rate_change=rate_change, mode="throughput",
+                         seed=seed, jobs=jobs, **_common(scale))
+    return dict(zip(sizes, grids))
 
 
 def _per100(summary: RunSummary) -> float:

@@ -9,9 +9,9 @@ lowest latency and still scales linearly with added Pis.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.api import RunSummary, compare
+from repro.api import RunSummary, compare, compare_grid
 from repro.experiments.config import (END_TO_END_SCHEMES, common_kwargs,
                                       scaled)
 from repro.metrics.network import mean_bandwidth_bytes_per_s
@@ -35,32 +35,37 @@ def _rpi_kwargs(scale: float) -> Dict:
     return kwargs
 
 
-def run_fig11_throughput(scale: float = 1.0,
-                         seed: int = 0) -> Dict[str, RunSummary]:
+def run_fig11_throughput(scale: float = 1.0, seed: int = 0,
+                         jobs: Optional[int] = None
+                         ) -> Dict[str, RunSummary]:
     """Fig. 11a: throughput on the Pi cluster."""
     return compare(list(END_TO_END_SCHEMES), n_nodes=N_LOCAL_NODES,
-                   mode="throughput", seed=seed, **_rpi_kwargs(scale))
+                   mode="throughput", seed=seed, jobs=jobs,
+                   **_rpi_kwargs(scale))
 
 
-def run_fig11_latency(scale: float = 1.0,
-                      seed: int = 0) -> Dict[str, RunSummary]:
+def run_fig11_latency(scale: float = 1.0, seed: int = 0,
+                      jobs: Optional[int] = None
+                      ) -> Dict[str, RunSummary]:
     """Fig. 11b/11c: network bandwidth and latency on the Pi cluster."""
     return compare(list(END_TO_END_SCHEMES), n_nodes=N_LOCAL_NODES,
-                   mode="latency", seed=seed, **_rpi_kwargs(scale))
+                   mode="latency", seed=seed, jobs=jobs,
+                   **_rpi_kwargs(scale))
 
 
 def run_fig11_scalability(scale: float = 1.0, seed: int = 0,
-                          counts: Sequence[int] = PI_COUNTS
+                          counts: Sequence[int] = PI_COUNTS,
+                          jobs: Optional[int] = None
                           ) -> Dict[int, Dict[str, RunSummary]]:
     """Fig. 11d: throughput as Raspberry Pis are added."""
     kwargs = _rpi_kwargs(scale)
     base_window = kwargs.pop("window_size")
-    out: Dict[int, Dict[str, RunSummary]] = {}
-    for n in counts:
-        out[n] = compare(list(END_TO_END_SCHEMES), n_nodes=n,
-                         window_size=base_window * n, mode="throughput",
-                         seed=seed, **kwargs)
-    return out
+    points = [dict(n_nodes=n, window_size=base_window * n)
+              for n in counts]
+    grids = compare_grid(list(END_TO_END_SCHEMES), points,
+                         mode="throughput", seed=seed, jobs=jobs,
+                         **kwargs)
+    return dict(zip(counts, grids))
 
 
 def rows_fig11a(scale: float = 1.0) -> List[List]:

@@ -9,7 +9,7 @@ highest (~100x) because it aggregates non-incrementally at window end.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.api import RunSummary, compare
 from repro.experiments.config import (END_TO_END_SCHEMES, common_kwargs,
@@ -19,7 +19,8 @@ N_LOCAL_NODES = 8
 RATE_CHANGE = 0.01
 
 
-def run_fig7a(scale: float = 1.0, seed: int = 0) -> Dict[str, RunSummary]:
+def run_fig7a(scale: float = 1.0, seed: int = 0,
+              jobs: Optional[int] = None) -> Dict[str, RunSummary]:
     """Fig. 7a: end-to-end sustainable throughput per approach."""
     s = scaled(base_window=80_000, base_windows=40, rate=50_000.0,
                scale=scale)
@@ -27,10 +28,11 @@ def run_fig7a(scale: float = 1.0, seed: int = 0) -> Dict[str, RunSummary]:
                    window_size=s.window_size, n_windows=s.n_windows,
                    rate_per_node=s.rate_per_node,
                    rate_change=RATE_CHANGE, mode="throughput",
-                   seed=seed, **common_kwargs())
+                   seed=seed, jobs=jobs, **common_kwargs())
 
 
-def run_fig7b(scale: float = 1.0, seed: int = 0) -> Dict[str, RunSummary]:
+def run_fig7b(scale: float = 1.0, seed: int = 0,
+              jobs: Optional[int] = None) -> Dict[str, RunSummary]:
     """Fig. 7b: end-to-end latency per approach."""
     s = scaled(base_window=80_000, base_windows=30, rate=50_000.0,
                scale=scale)
@@ -38,7 +40,7 @@ def run_fig7b(scale: float = 1.0, seed: int = 0) -> Dict[str, RunSummary]:
                    window_size=s.window_size, n_windows=s.n_windows,
                    rate_per_node=s.rate_per_node,
                    rate_change=RATE_CHANGE, mode="latency",
-                   seed=seed, **common_kwargs())
+                   seed=seed, jobs=jobs, **common_kwargs())
 
 
 def rows_fig7a(scale: float = 1.0) -> List[List]:

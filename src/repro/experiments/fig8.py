@@ -10,9 +10,9 @@ events and saves up to 99% of the network; Disco's string encoding costs
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.api import RunSummary, compare, run
+from repro.api import RunSummary, compare, compare_grid
 from repro.experiments.config import common_kwargs, scaled
 from repro.metrics.network import network_saving
 
@@ -21,7 +21,8 @@ RATE_CHANGE = 0.01
 NODE_COUNTS = (1, 2, 4, 8)
 
 
-def run_fig8a(scale: float = 1.0, seed: int = 0) -> Dict[str, RunSummary]:
+def run_fig8a(scale: float = 1.0, seed: int = 0,
+              jobs: Optional[int] = None) -> Dict[str, RunSummary]:
     """Fig. 8a: bytes moved in a 1-local-node cluster."""
     s = scaled(base_window=40_000, base_windows=40, rate=50_000.0,
                scale=scale)
@@ -30,27 +31,28 @@ def run_fig8a(scale: float = 1.0, seed: int = 0) -> Dict[str, RunSummary]:
     return compare(list(SCHEMES), n_nodes=1, window_size=s.window_size,
                    n_windows=s.n_windows, rate_per_node=s.rate_per_node,
                    rate_change=RATE_CHANGE, mode="latency", seed=seed,
-                   **common_kwargs())
+                   jobs=jobs, **common_kwargs())
 
 
-def run_fig8b(scale: float = 1.0,
-              seed: int = 0) -> Dict[int, Dict[str, RunSummary]]:
+def run_fig8b(scale: float = 1.0, seed: int = 0,
+              jobs: Optional[int] = None
+              ) -> Dict[int, Dict[str, RunSummary]]:
     """Fig. 8b: bytes moved as local nodes grow 1 -> 8.
 
     The per-node event count stays fixed (the paper fixes 100M events
-    per local node), so total traffic grows with the node count.
+    per local node), so total traffic grows with the node count.  The
+    whole (node count x scheme) grid fans out over one sweep executor.
     """
     s = scaled(base_window=40_000, base_windows=30, rate=50_000.0,
                scale=scale)
-    out: Dict[int, Dict[str, RunSummary]] = {}
-    for n in NODE_COUNTS:
-        out[n] = compare(
-            list(SCHEMES), n_nodes=n,
-            window_size=s.window_size * n,  # fixed events per node
-            n_windows=s.n_windows, rate_per_node=s.rate_per_node,
-            rate_change=RATE_CHANGE, mode="latency", seed=seed,
-            **common_kwargs())
-    return out
+    points = [dict(n_nodes=n,
+                   window_size=s.window_size * n)  # fixed events/node
+              for n in NODE_COUNTS]
+    grids = compare_grid(
+        list(SCHEMES), points, n_windows=s.n_windows,
+        rate_per_node=s.rate_per_node, rate_change=RATE_CHANGE,
+        mode="latency", seed=seed, jobs=jobs, **common_kwargs())
+    return dict(zip(NODE_COUNTS, grids))
 
 
 def rows_fig8a(scale: float = 1.0) -> List[List]:

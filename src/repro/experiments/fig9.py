@@ -10,9 +10,9 @@ Deco_async grows slowly with node count, the others are constant.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.api import RunSummary, compare
+from repro.api import RunSummary, compare_grid
 from repro.experiments.config import (END_TO_END_SCHEMES, common_kwargs,
                                       scaled)
 
@@ -21,20 +21,24 @@ NODE_COUNTS = (1, 2, 4, 8, 16, 32)
 
 
 def run_fig9(scale: float = 1.0, mode: str = "throughput",
-             node_counts=NODE_COUNTS,
-             seed: int = 0) -> Dict[int, Dict[str, RunSummary]]:
-    """Fig. 9a (throughput) / 9b (latency) sweeps over node count."""
+             node_counts=NODE_COUNTS, seed: int = 0,
+             jobs: Optional[int] = None
+             ) -> Dict[int, Dict[str, RunSummary]]:
+    """Fig. 9a (throughput) / 9b (latency) sweeps over node count.
+
+    All (node count x scheme) runs are independent and fan out over one
+    sweep executor (``jobs`` workers, see :mod:`repro.sweep`).
+    """
     s = scaled(base_window=10_000, base_windows=24, rate=50_000.0,
                scale=scale)
-    out: Dict[int, Dict[str, RunSummary]] = {}
-    for n in node_counts:
-        out[n] = compare(
-            list(END_TO_END_SCHEMES), n_nodes=n,
-            window_size=s.window_size * n,  # window grows with nodes
-            n_windows=s.n_windows, rate_per_node=s.rate_per_node,
-            rate_change=RATE_CHANGE, mode=mode, seed=seed,
-            **common_kwargs())
-    return out
+    points = [dict(n_nodes=n,
+                   window_size=s.window_size * n)  # grows with nodes
+              for n in node_counts]
+    grids = compare_grid(
+        list(END_TO_END_SCHEMES), points, n_windows=s.n_windows,
+        rate_per_node=s.rate_per_node, rate_change=RATE_CHANGE,
+        mode=mode, seed=seed, jobs=jobs, **common_kwargs())
+    return dict(zip(node_counts, grids))
 
 
 def rows_fig9a(scale: float = 1.0, node_counts=NODE_COUNTS) -> List[List]:

@@ -9,7 +9,7 @@ dominates.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.api import RunSummary, compare
 from repro.experiments.config import common_kwargs, scaled
@@ -18,7 +18,8 @@ N_LOCAL_NODES = 32
 
 
 def run_micro(scale: float = 1.0, n_nodes: int = N_LOCAL_NODES,
-              seed: int = 0) -> Dict[str, RunSummary]:
+              seed: int = 0,
+              jobs: Optional[int] = None) -> Dict[str, RunSummary]:
     """Deco_mon vs Deco_monlocal on a 32-local cluster.
 
     The paper reports per-window coordination latency under load; we
@@ -31,7 +32,8 @@ def run_micro(scale: float = 1.0, n_nodes: int = N_LOCAL_NODES,
     return compare(["deco_mon", "deco_monlocal"], n_nodes=n_nodes,
                    window_size=s.window_size, n_windows=s.n_windows,
                    rate_per_node=s.rate_per_node, rate_change=0.01,
-                   mode="throughput", seed=seed, **common_kwargs())
+                   mode="throughput", seed=seed, jobs=jobs,
+                   **common_kwargs())
 
 
 def cycle_ms(summary: RunSummary) -> float:

@@ -18,18 +18,29 @@ from repro.errors import SimulationError
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[[], None]):
+                 callback: Callable[[], None],
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the callback from running (idempotent)."""
-        self.cancelled = True
+        """Prevent the callback from running (idempotent).
+
+        Cancellation is lazy: the entry stays in the heap and is
+        discarded when it surfaces, but the owning simulator's live
+        counter is decremented immediately so :meth:`Simulator.pending`
+        stays O(1).
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._live -= 1
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -48,6 +59,9 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._stopped = False
+        #: Live (scheduled, not yet run, not cancelled) event count,
+        #: maintained incrementally so ``pending()`` is O(1).
+        self._live = 0
         self.events_executed = 0
 
     @property
@@ -70,9 +84,10 @@ class Simulator:
                 f"cannot schedule at {time} < now {self._now}")
         if not math.isfinite(time):
             raise SimulationError(f"non-finite schedule time {time}")
-        event = ScheduledEvent(time, self._seq, callback)
+        event = ScheduledEvent(time, self._seq, callback, self)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def stop(self) -> None:
@@ -88,16 +103,24 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        # Hot loop: hoist bound/global lookups out of the per-event
+        # iteration (the kernel executes millions of events per run).
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue and not self._stopped:
-                event = self._queue[0]
+            while queue and not self._stopped:
+                event = queue[0]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    heappop(queue)
                     continue
                 if until is not None and event.time > until:
                     self._now = until
                     break
-                heapq.heappop(self._queue)
+                heappop(queue)
+                self._live -= 1
+                # Consumed: a late cancel() on this handle must be a
+                # no-op, not a second live-counter decrement.
+                event.cancelled = True
                 self._now = event.time
                 event.callback()
                 self.events_executed += 1
@@ -112,8 +135,13 @@ class Simulator:
         return self._now
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) scheduled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) scheduled events.
+
+        O(1): a counter is maintained on schedule / cancel / execution
+        instead of scanning the heap (which still holds lazily-deleted
+        cancelled entries).
+        """
+        return self._live
 
 
 class Timeout:

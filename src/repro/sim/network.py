@@ -215,9 +215,17 @@ class Network:
 
     # -- accounting --------------------------------------------------------------
 
+    def links(self) -> Dict[Tuple[str, str], Link]:
+        """All directed links keyed by ``(src, dst)`` (a copy)."""
+        return dict(self._links)
+
     def total_bytes(self) -> int:
         """Bytes put on the wire across all links."""
         return sum(l.stats.bytes_sent for l in self._links.values())
+
+    def total_messages(self) -> int:
+        """Messages put on the wire across all links."""
+        return sum(l.stats.messages_sent for l in self._links.values())
 
     def bytes_between(self, src: str, dst: str) -> int:
         """Bytes sent on the directed ``src -> dst`` link."""

@@ -199,6 +199,16 @@ class SimNode:
 
     # -- accounting ------------------------------------------------------------
 
+    @property
+    def cpu_free_at(self) -> float:
+        """Simulation time when this node's CPU finishes its backlog.
+
+        Exposed for backpressured source feeding: the next input batch
+        is worth delivering exactly when the previous one's service
+        completes.
+        """
+        return self._cpu_free_at
+
     def account_events(self, n: int) -> None:
         """Record ``n`` events as processed by this node (metrics only)."""
         self.metrics.events_processed += n

@@ -48,6 +48,24 @@ class EventBatch:
     # -- construction ----------------------------------------------------
 
     @classmethod
+    def _view(cls, ids: np.ndarray, values: np.ndarray,
+              ts: np.ndarray) -> "EventBatch":
+        """Wrap already-validated columns without copies or checks.
+
+        Internal fast path for slicing/sorting/concatenation, where the
+        columns are derived from an existing batch and are equal-length
+        1-d arrays of the right dtypes by construction.  Source feeding
+        slices a stream once per injected batch, so skipping the
+        ``asarray`` + shape validation of ``__init__`` is a hot-path
+        win; numpy basic slicing already returns views, not copies.
+        """
+        batch = object.__new__(cls)
+        batch.ids = ids
+        batch.values = values
+        batch.ts = ts
+        return batch
+
+    @classmethod
     def empty(cls) -> "EventBatch":
         """An empty batch."""
         return cls(np.empty(0, ID_DTYPE), np.empty(0, VALUE_DTYPE),
@@ -71,7 +89,7 @@ class EventBatch:
             return cls.empty()
         if len(batches) == 1:
             return batches[0]
-        return cls(
+        return cls._view(
             np.concatenate([b.ids for b in batches]),
             np.concatenate([b.values for b in batches]),
             np.concatenate([b.ts for b in batches]),
@@ -90,8 +108,8 @@ class EventBatch:
     def __getitem__(self, index) -> "EventBatch":
         if isinstance(index, int):
             index = slice(index, index + 1)
-        return EventBatch(self.ids[index], self.values[index],
-                          self.ts[index])
+        return EventBatch._view(self.ids[index], self.values[index],
+                                self.ts[index])
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, EventBatch):
@@ -124,8 +142,13 @@ class EventBatch:
         return self[:n], self[n:]
 
     def slice_range(self, start: int, stop: int) -> "EventBatch":
-        """Events at positions ``[start, stop)`` in arrival order."""
-        return self[start:stop]
+        """Events at positions ``[start, stop)`` in arrival order.
+
+        Returns views into this batch's columns (no data copies).
+        """
+        return EventBatch._view(self.ids[start:stop],
+                                self.values[start:stop],
+                                self.ts[start:stop])
 
     # -- ordering ---------------------------------------------------------
 
@@ -133,8 +156,8 @@ class EventBatch:
         """A stably timestamp-sorted copy (paper: root buffers are stably
         sorted; ties keep arrival order)."""
         order = np.argsort(self.ts, kind="stable")
-        return EventBatch(self.ids[order], self.values[order],
-                          self.ts[order])
+        return EventBatch._view(self.ids[order], self.values[order],
+                                self.ts[order])
 
     def is_ts_sorted(self) -> bool:
         """Whether timestamps are non-decreasing in arrival order."""
