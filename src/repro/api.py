@@ -35,6 +35,7 @@ from repro.errors import ConfigurationError
 from repro.metrics.correctness import correctness as _correctness
 from repro.metrics.latency import percentile_latency
 from repro.metrics.throughput import sustainable_throughput
+from repro.obs.tracer import RunTracer, resolve_tracer
 from repro.sweep import SweepExecutor
 
 # Ensure every built-in scheme is registered on import.
@@ -65,6 +66,9 @@ class RunSummary:
     total_bytes: int = 0
     correctness: float = 0.0
     correction_steps: int = 0
+    #: The run's :class:`~repro.obs.tracer.RunTracer` when tracing was
+    #: requested (``trace=True``); ``None`` otherwise.
+    trace: Optional[RunTracer] = field(default=None, repr=False)
 
     def __str__(self) -> str:
         parts = [f"{self.scheme}"]
@@ -109,6 +113,7 @@ def run(scheme: str, *, n_nodes: int = 2, window_size: int = 10_000,
         rate_change: float = 0.01, aggregate: str = "sum",
         mode: str = "throughput", seed: int = 0,
         workload: Optional[Workload] = None,
+        trace: bool = False,
         **config_kwargs) -> RunSummary:
     """Run one scheme and summarize its metrics.
 
@@ -123,6 +128,10 @@ def run(scheme: str, *, n_nodes: int = 2, window_size: int = 10_000,
         mode: ``"throughput"`` (saturated) or ``"latency"`` (paced).
         seed: Workload RNG seed.
         workload: Reuse a pre-generated workload (for fair comparisons).
+        trace: Record a structured trace (see :mod:`repro.obs`); the
+            tracer lands on :attr:`RunSummary.trace`, the metrics are
+            unchanged.  Also accepts an existing
+            :class:`~repro.obs.tracer.RunTracer` to collect into.
         **config_kwargs: Extra :class:`RunConfig` fields (profiles,
             bandwidth, delta_m, ...).
     """
@@ -131,8 +140,11 @@ def run(scheme: str, *, n_nodes: int = 2, window_size: int = 10_000,
         window_size=window_size, n_windows=n_windows,
         rate_per_node=rate_per_node, rate_change=rate_change,
         aggregate=aggregate, **config_kwargs)
-    result, used_workload = run_scheme(config, workload)
-    return _summarize(config, mode, result, used_workload)
+    tracer = resolve_tracer(trace)
+    result, used_workload = run_scheme(config, workload, tracer)
+    summary = _summarize(config, mode, result, used_workload)
+    summary.trace = tracer
+    return summary
 
 
 def compare(schemes: Sequence[str], *, seed: int = 0,

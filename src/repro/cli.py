@@ -6,6 +6,8 @@ Subcommands:
 * ``run`` — run one scheme and print its headline metrics.
 * ``compare`` — run several schemes over one workload and print a table.
 * ``experiment`` — regenerate one of the paper's figures.
+* ``trace`` — run one scheme with tracing and write the trace to disk
+  (Chrome trace-event JSON for Perfetto, or JSONL).
 """
 
 from __future__ import annotations
@@ -102,6 +104,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one scheme")
     run_p.add_argument("scheme")
     add_run_args(run_p)
+    run_p.add_argument("--trace", metavar="PATH", default=None,
+                       help="also record a trace and write it to PATH "
+                            "as Chrome trace-event JSON (Perfetto)")
+
+    trace_p = sub.add_parser(
+        "trace", help="run one scheme with tracing; write the trace")
+    trace_p.add_argument("--scheme", required=True)
+    add_run_args(trace_p)
+    trace_p.add_argument("--out", default="trace.json",
+                         help="output path (default: trace.json)")
+    trace_p.add_argument("--format", choices=("chrome", "jsonl"),
+                         default="chrome",
+                         help="chrome = trace-event JSON for Perfetto; "
+                              "jsonl = one event per line")
 
     cmp_p = sub.add_parser("compare",
                            help="run several schemes, same workload")
@@ -149,9 +165,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     headers = ["scheme", "throughput/latency", "network", "correct",
                "corrections"]
     if args.command == "run":
-        summary = run(args.scheme, **_run_kwargs(args))
+        summary = run(args.scheme, trace=bool(args.trace),
+                      **_run_kwargs(args))
         print(format_table(headers,
                            [_summary_row(args.scheme, summary)]))
+        if args.trace:
+            from repro.obs import write_chrome_trace
+            path = write_chrome_trace(args.trace, summary.trace)
+            print(f"trace: {path} ({len(summary.trace.events)} events; "
+                  f"open in https://ui.perfetto.dev)")
+        return 0
+
+    if args.command == "trace":
+        from repro.obs import (summary_table, write_chrome_trace,
+                               write_jsonl)
+        summary = run(args.scheme, trace=True, **_run_kwargs(args))
+        tracer = summary.trace
+        if args.format == "chrome":
+            path = write_chrome_trace(args.out, tracer)
+        else:
+            write_jsonl(args.out, tracer)
+            path = args.out
+        print(format_table(headers,
+                           [_summary_row(args.scheme, summary)]))
+        print()
+        print(summary_table(tracer))
+        print(f"\ntrace: {path} ({len(tracer.events)} events, "
+              f"format={args.format})")
+        if args.format == "chrome":
+            print("open in https://ui.perfetto.dev (or chrome://tracing)")
         return 0
 
     if args.command == "compare":

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.core.query import Query
 from repro.core.records import RunResult
 from repro.core.workload import Workload
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.serialization import WireFormat
 
 
@@ -30,6 +31,11 @@ class SchemeContext:
     #: long without progress, recovering from dropped messages and
     #: transient crashes.
     retransmit_timeout_s: float = None
+    #: Observability sink for protocol-level events (predictions,
+    #: corrections, retransmits, window emissions).  The runner keeps
+    #: this in lock-step with ``sim.tracer``; behaviours guard every
+    #: hook on ``tracer.enabled`` so the default costs nothing.
+    tracer: object = NULL_TRACER
 
     @property
     def n_nodes(self) -> int:

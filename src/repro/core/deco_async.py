@@ -46,6 +46,7 @@ from repro.core.root import ReportCollector, RootBehaviorBase
 from repro.core.segments import SegmentStore
 from repro.core.slicing import AsyncLayout, async_layout, sync_layout
 from repro.core.verification import async_global_check
+from repro.obs import events as ev
 from repro.sim.node import SimNode
 
 #: Windows 0..SYNC_WINDOW-1 bootstrap centrally; window SYNC_WINDOW is
@@ -141,6 +142,12 @@ class DecoAsyncLocal(LocalBehaviorBase):
                                 msg.actual_size)
             self._sync_assignment = None
             self._params = None
+            tracer = self.ctx.tracer
+            if tracer.enabled:
+                tracer.event(ev.STATE, node.sim.now, node.name,
+                             transition="rollback",
+                             window=msg.window_index, epoch=msg.epoch)
+                tracer.inc("rollbacks", node.name)
             self.apply_watermark(msg.watermark)
             self._try_correct(node)
         elif isinstance(msg, ResendRequest):
@@ -396,6 +403,11 @@ class DecoAsyncRoot(RootBehaviorBase):
             for a in range(self.n_nodes))
         if not ok:
             self.result.prediction_errors += 1
+            tracer = self.ctx.tracer
+            if tracer.enabled:
+                tracer.event(ev.STATE, node.sim.now, node.name,
+                             transition="verify_failed", window=g,
+                             epoch=self.epoch)
             self._start_correction(node, g)
             return
         partial = self.fn.identity()
@@ -433,6 +445,11 @@ class DecoAsyncRoot(RootBehaviorBase):
             for a in range(self.n_nodes)}
         release = {a: int(self.stores[a].base)
                    for a in range(self.n_nodes)}
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.event(ev.STATE, node.sim.now, node.name,
+                         transition="predict", window=g,
+                         epoch=self.epoch)
         self.broadcast(node, lambda a: WindowAssignment(
             sender="root", window_index=g, epoch=self.epoch,
             predicted_size=params[a][0], delta=params[a][1],
@@ -484,6 +501,11 @@ class DecoAsyncRoot(RootBehaviorBase):
             return False
         if not ok:
             self.result.prediction_errors += 1
+            tracer = self.ctx.tracer
+            if tracer.enabled:
+                tracer.event(ev.STATE, node.sim.now, node.name,
+                             transition="verify_failed", window=g,
+                             epoch=self.epoch)
             self.reports.drop_at_or_after(g)
             self._start_correction(node, g)
             return True
@@ -515,6 +537,12 @@ class DecoAsyncRoot(RootBehaviorBase):
         self._correcting = window
         spans = self.actual_spans(window)
         watermark = self.watermark.current
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.event(ev.STATE, node.sim.now, node.name,
+                         transition="correction_start", window=window,
+                         epoch=self.epoch)
+            tracer.inc("corrections", node.name)
         self.broadcast(node, lambda a: CorrectionRequest(
             sender="root", window_index=window, epoch=self.epoch,
             actual_size=spans[a][1] - spans[a][0],
@@ -525,6 +553,11 @@ class DecoAsyncRoot(RootBehaviorBase):
         if g is None or not self.corrections.complete(g):
             return
         self._correcting = None
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.event(ev.STATE, node.sim.now, node.name,
+                         transition="correction_done", window=g,
+                         epoch=self.epoch)
         reports = self.corrections.pop(g)
         partial = self.fn.combine_all(
             r.partial for _, r in sorted(reports.items()))

@@ -22,6 +22,7 @@ from repro.core.local import LocalBehaviorBase
 from repro.core.protocol import (LocalWindowReport, Message, RateReport,
                                  WindowAssignment)
 from repro.core.root import ReportCollector, RootBehaviorBase
+from repro.obs import events as ev
 from repro.sim.node import SimNode
 
 
@@ -111,6 +112,10 @@ class DecoMonRoot(RootBehaviorBase):
         self.rates.pop(g)
         spans = self.actual_spans(g)
         watermark = self.watermark.current
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.event(ev.STATE, node.sim.now, node.name,
+                         transition="assign", window=g)
         self.broadcast(node, lambda a: WindowAssignment(
             sender="root", window_index=g, epoch=0,
             predicted_size=spans[a][1] - spans[a][0], delta=0,

@@ -31,10 +31,12 @@ from repro.core.local import LocalBehaviorBase
 from repro.core.prediction import PREDICTORS
 from repro.core.protocol import (CorrectionReport, CorrectionRequest,
                                  LocalWindowReport, Message, RawEvents,
-                                 ResendRequest, WindowAssignment)
+                                 ResendRequest, WindowAssignment,
+                                 trace_fields)
 from repro.core.root import ReportCollector, RootBehaviorBase
 from repro.core.slicing import SyncLayout, sync_layout
 from repro.core.verification import sync_prediction_ok
+from repro.obs import events as ev
 from repro.sim.node import SimNode
 
 #: Number of bootstrap windows collected centrally.
@@ -87,6 +89,12 @@ class DecoSyncLocal(LocalBehaviorBase):
         if self._last_sent is None:
             return
         self.ctx.result.retransmissions += 1
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.event(ev.MSG_RETRANSMIT, node.sim.now, node.name,
+                         reason="timeout",
+                         **trace_fields(self._last_sent))
+            tracer.inc("retransmissions", node.name)
         self.send_up(node, self._last_sent)
         self._arm_timeout(node)
 
@@ -129,6 +137,12 @@ class DecoSyncLocal(LocalBehaviorBase):
                 # Duplicate assignment for a window we already reported:
                 # the root missed our report (failure model) — resend.
                 self.ctx.result.retransmissions += 1
+                tracer = self.ctx.tracer
+                if tracer.enabled:
+                    tracer.event(ev.MSG_RETRANSMIT, node.sim.now,
+                                 node.name, reason="duplicate_assignment",
+                                 **trace_fields(self._last_sent))
+                    tracer.inc("retransmissions", node.name)
                 self.send_up(node, self._last_sent)
                 self._arm_timeout(node)
                 return
@@ -222,6 +236,7 @@ class DecoSyncRoot(RootBehaviorBase):
         #: Failure model: re-broadcast hook while awaiting reports.
         self._timeout = None
         self._rebroadcast = None
+        self._timeout_node = None
 
     # -- failure model ----------------------------------------------------------
 
@@ -232,6 +247,7 @@ class DecoSyncRoot(RootBehaviorBase):
         realized as a retransmission, which also covers dropped
         down-flows)."""
         self._rebroadcast = rebroadcast
+        self._timeout_node = node
         if self.ctx.retransmit_timeout_s is None:
             return
         if self._timeout is None:
@@ -246,6 +262,12 @@ class DecoSyncRoot(RootBehaviorBase):
     def _fire_timeout(self) -> None:
         if self._rebroadcast is not None:
             self.result.retransmissions += 1
+            tracer = self.ctx.tracer
+            if tracer.enabled:
+                node = self._timeout_node
+                tracer.event(ev.MSG_RETRANSMIT, node.sim.now, node.name,
+                             reason="timeout", msg="down_flow")
+                tracer.inc("retransmissions", node.name)
             self._rebroadcast()
             if self._timeout is not None:
                 self._timeout.arm(self.ctx.retransmit_timeout_s)
@@ -319,6 +341,10 @@ class DecoSyncRoot(RootBehaviorBase):
             start = int(self.workload.bounds[g, a])
             assignment[a] = (start, predicted, delta)
         self.assigned[g] = assignment
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.event(ev.STATE, node.sim.now, node.name,
+                         transition="predict", window=g)
 
         def broadcast():
             self.broadcast(node, lambda a: WindowAssignment(
@@ -348,6 +374,10 @@ class DecoSyncRoot(RootBehaviorBase):
             for a in range(self.n_nodes))
         if not ok:
             self.result.prediction_errors += 1
+            tracer = self.ctx.tracer
+            if tracer.enabled:
+                tracer.event(ev.STATE, node.sim.now, node.name,
+                             transition="verify_failed", window=g)
             self._start_correction(node, g)
             return
         partial = self.fn.identity()
@@ -372,6 +402,11 @@ class DecoSyncRoot(RootBehaviorBase):
         self._correcting = window
         spans = self.actual_spans(window)
         watermark = self.watermark.current
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.event(ev.STATE, node.sim.now, node.name,
+                         transition="correction_start", window=window)
+            tracer.inc("corrections", node.name)
 
         def broadcast():
             self.broadcast(node, lambda a: CorrectionRequest(
@@ -388,6 +423,10 @@ class DecoSyncRoot(RootBehaviorBase):
             return
         self._cancel_timeout()
         self._correcting = None
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.event(ev.STATE, node.sim.now, node.name,
+                         transition="correction_done", window=g)
         reports = self.corrections.pop(g)
         partial = self.fn.combine_all(
             r.partial for _, r in sorted(reports.items()))

@@ -211,3 +211,20 @@ def sizeof_message(msg: Message,
 def make_sizer(fmt: WireFormat = WireFormat.BINARY):
     """A ``msg -> bytes`` sizer bound to one wire format."""
     return lambda msg: sizeof_message(msg, fmt)
+
+
+def trace_fields(msg: Message) -> dict:
+    """Identifying fields of a message for trace-event payloads.
+
+    Always includes the class name; window/epoch ride along when the
+    message carries them, so retransmit and state events can name the
+    exact protocol round they belong to.
+    """
+    out = {"msg": type(msg).__name__}
+    window = getattr(msg, "window_index", None)
+    if window is not None:
+        out["window"] = window
+    epoch = getattr(msg, "epoch", None)
+    if epoch is not None:
+        out["epoch"] = epoch
+    return out

@@ -16,6 +16,7 @@ from repro.core.context import SchemeContext
 from repro.core.protocol import (CorrectionReport, LocalWindowReport,
                                  Message, RawEvents, ResendRequest)
 from repro.core.records import WindowOutcome
+from repro.obs import events as ev
 from repro.sim.node import SimNode
 from repro.sim.topology import local_name
 from repro.streams.watermark import WatermarkTracker
@@ -151,6 +152,12 @@ class RootBehaviorBase:
             self.watermark.advance(boundary_ts)
         self.next_emit += 1
         self.result.sim_time = done
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.event(ev.WINDOW, done, node.name, phase="emit",
+                         window=window, corrected=corrected,
+                         up_flows=up_flows, down_flows=down_flows)
+            tracer.inc("windows_emitted", node.name)
 
         def finish():
             if after is not None:

@@ -24,6 +24,7 @@ from repro.core.query import Query, tumbling_count_query
 from repro.core.records import RunResult
 from repro.core.workload import Workload, WorkloadSpec, default_cache
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.tracer import NULL_TRACER, RunTracer
 from repro.sim.network import DEFAULT_LATENCY_S, ETHERNET_25G
 from repro.sim.node import INTEL_XEON, NodeProfile
 from repro.sim.serialization import WireFormat
@@ -123,6 +124,11 @@ class RunConfig:
     #: Retransmission timeout for the Section 4.3.4 failure model;
     #: None disables timeouts (reliable fabric).
     retransmit_timeout_s: Optional[float] = None
+    #: Record a structured trace of this run (see :mod:`repro.obs`).
+    #: A plain bool so configs stay picklable — parallel sweep workers
+    #: build their own tracer and ship back a summary.  Not part of
+    #: :meth:`workload_key`: tracing never changes the workload.
+    trace: bool = False
 
     def workload_key(self) -> WorkloadSpec:
         """The generation-parameter tuple of this run's workload.
@@ -154,10 +160,18 @@ class RunConfig:
 
 
 def build_run(config: RunConfig,
-              workload: Optional[Workload] = None
+              workload: Optional[Workload] = None,
+              tracer: Optional[RunTracer] = None
               ) -> Tuple[StarTopology, SchemeContext]:
-    """Construct the topology + context for a config (without running)."""
+    """Construct the topology + context for a config (without running).
+
+    ``tracer`` overrides ``config.trace``: pass an existing
+    :class:`~repro.obs.tracer.RunTracer` to collect into it, or leave
+    both unset for the zero-overhead null tracer.
+    """
     spec = get_scheme(config.scheme)
+    if tracer is None and config.trace:
+        tracer = RunTracer()
     if workload is None:
         workload = default_cache().get(config.workload_key())
     query = tumbling_count_query(
@@ -174,7 +188,9 @@ def build_run(config: RunConfig,
                        window_size=config.window_size)
     ctx = SchemeContext(query=query, workload=workload, result=result,
                         fmt=spec.fmt,
-                        retransmit_timeout_s=config.retransmit_timeout_s)
+                        retransmit_timeout_s=config.retransmit_timeout_s,
+                        tracer=tracer if tracer is not None
+                        else NULL_TRACER)
     local_profile = config.local_profile
     root_profile = config.root_profile
     if spec.profile_transform is not None:
@@ -189,6 +205,13 @@ def build_run(config: RunConfig,
     if spec.needs_peer_mesh:
         from repro.sim.topology import peer_mesh
         peer_mesh(topo)
+    if tracer is not None:
+        topo.sim.tracer = tracer
+        tracer.meta.setdefault("scheme", config.scheme)
+        tracer.meta.setdefault("n_nodes", workload.n_nodes)
+        tracer.meta.setdefault("window_size", config.window_size)
+        tracer.meta.setdefault("n_windows", config.n_windows)
+        tracer.meta.setdefault("seed", config.seed)
     return topo, ctx
 
 
@@ -310,9 +333,15 @@ def run_simulation(topo: StarTopology, ctx: SchemeContext,
 
 def run_scheme(config: RunConfig,
                workload: Optional[Workload] = None,
+               tracer: Optional[RunTracer] = None,
                ) -> Tuple[RunResult, Workload]:
-    """Run one scheme over one workload; returns result + workload."""
-    topo, ctx = build_run(config, workload)
+    """Run one scheme over one workload; returns result + workload.
+
+    Tracing (``config.trace`` or an explicit ``tracer``) records into
+    the tracer without touching the :class:`RunResult` — traced and
+    untraced runs produce identical results.
+    """
+    topo, ctx = build_run(config, workload, tracer)
     result = run_simulation(topo, ctx, config.resolved_batch_size(),
                             config.saturated)
     if result.n_windows < ctx.n_windows:

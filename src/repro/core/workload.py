@@ -351,11 +351,20 @@ class WorkloadCache:
         return workload
 
     def ensure_spilled(self, spec: WorkloadSpec) -> Path:
-        """Materialize the spec's spill file and return its path."""
+        """Materialize the spec's spill file and return its path.
+
+        The spill file is re-written if it has gone missing since the
+        workload entered the in-memory LRU (deleted spill dir, tmpfs
+        cleanup): an in-memory hit alone does not prove the path that
+        workers will ``np.load`` still exists.
+        """
         if not self.spill:
             raise ConfigurationError("cache has spilling disabled")
-        self.get(spec)
-        return self.path(spec)
+        workload = self.get(spec)
+        path = self.path(spec)
+        if not path.exists():
+            save_workload(path, workload)
+        return path
 
     def clear(self, spill: bool = False) -> None:
         """Drop the in-memory LRU; optionally delete spill files too."""

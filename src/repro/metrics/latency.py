@@ -57,19 +57,29 @@ def window_latencies(result: RunResult, workload: Workload,
                      skip_bootstrap: int = 3) -> np.ndarray:
     """Per-window result latency in seconds for a *paced* run.
 
-    The first ``skip_bootstrap`` windows are excluded: Deco's
+    Windows with index below ``skip_bootstrap`` are excluded: Deco's
     initialization windows are centralized by design and would skew the
     steady-state distribution the paper plots.
+
+    Every steady-state window the workload defines must be present —
+    a fault run that silently lost windows would otherwise report a
+    distribution over survivors only, biasing the percentiles low; a
+    :class:`ConfigurationError` names the missing windows instead.
     """
     triggers = trigger_times(workload, batch_size)
     outcomes = sorted(result.outcomes, key=lambda o: o.index)
-    latencies = [o.emit_time - triggers[o.index] for o in outcomes
-                 if o.index >= skip_bootstrap]
-    if not latencies:
+    steady = [o for o in outcomes if o.index >= skip_bootstrap]
+    if not steady:
         raise ConfigurationError(
             f"no windows after skipping {skip_bootstrap} bootstrap "
             f"windows")
-    return np.asarray(latencies)
+    missing = sorted(set(range(skip_bootstrap, workload.n_windows))
+                     - {o.index for o in steady})
+    if missing:
+        raise ConfigurationError(
+            f"windows {missing} missing from run outcomes; the "
+            f"steady-state latency distribution would be biased")
+    return np.asarray([o.emit_time - triggers[o.index] for o in steady])
 
 
 def mean_latency(result: RunResult, workload: Workload,

@@ -1,0 +1,132 @@
+"""Trace exporters: JSONL, Chrome trace-event format, summary tables.
+
+The Chrome trace-event output loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``: one process per run,
+one thread track per simulated node, ``cpu`` spans as complete events,
+queue depths as counter tracks, everything else as instant events.
+Timestamps are simulation *microseconds* (the trace-event unit), sorted
+nondecreasing so per-node tracks are monotone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.obs.events import CPU, QUEUE, TraceEvent
+from repro.obs.tracer import RunTracer
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce numpy scalars (and anything int/float-like) to JSON types."""
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def _safe_args(data: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: _json_safe(value) for key, value in data.items()}
+
+
+# -- JSONL --------------------------------------------------------------------
+
+def event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+    """One event as a flat JSON-ready dict."""
+    out = {"kind": event.kind, "t": event.time, "node": event.node}
+    if event.dur:
+        out["dur"] = event.dur
+    out.update(_safe_args(event.data))
+    return out
+
+
+def write_jsonl(path: Union[str, Path], tracer: RunTracer) -> int:
+    """Write one JSON object per event; returns the event count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in tracer.events:
+            fh.write(json.dumps(event_to_dict(event)))
+            fh.write("\n")
+    return len(tracer.events)
+
+
+# -- Chrome trace-event format ------------------------------------------------
+
+def to_chrome_trace(tracer: RunTracer) -> Dict[str, Any]:
+    """The run as a Chrome trace-event JSON object.
+
+    ``traceEvents`` is sorted by timestamp (then thread), so every
+    per-node track is monotone; metadata naming events lead the list.
+    """
+    tids = {name: i for i, name in enumerate(tracer.nodes())}
+    meta: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": str(tracer.meta.get("scheme", "repro run"))}},
+    ]
+    for name, tid in tids.items():
+        meta.append({"name": "thread_name", "ph": "M", "pid": 0,
+                     "tid": tid, "args": {"name": name}})
+    events: List[Dict[str, Any]] = []
+    for event in tracer.events:
+        base = {"pid": 0, "tid": tids[event.node], "cat": event.kind,
+                "ts": event.time * 1e6}
+        if event.kind == CPU:
+            events.append({
+                **base, "ph": "X", "dur": event.dur * 1e6,
+                "name": str(event.data.get("label", "cpu")),
+                "args": _safe_args(event.data)})
+        elif event.kind == QUEUE:
+            events.append({
+                **base, "ph": "C",
+                "name": f"queue[{event.node}]",
+                "args": {"depth": _json_safe(
+                    event.data.get("depth", 0))}})
+        else:
+            events.append({**base, "ph": "i", "s": "t",
+                           "name": event.kind,
+                           "args": _safe_args(event.data)})
+    events.sort(key=lambda e: (e["ts"], e["tid"]))
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms",
+            "otherData": {key: _json_safe(value)
+                          for key, value in tracer.meta.items()}}
+
+
+def write_chrome_trace(path: Union[str, Path],
+                       tracer: RunTracer) -> Path:
+    """Write the Chrome trace JSON for Perfetto; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(tracer), fh)
+    return path
+
+
+# -- per-run summary table ----------------------------------------------------
+
+def summary_table(tracer: RunTracer) -> str:
+    """Aligned per-node table of the headline trace counters."""
+    from repro.metrics.report import format_table
+    headers = ["node", "sent", "received", "retransmits", "cpu busy s",
+               "max queue"]
+    rows = []
+    for name in tracer.nodes():
+        busy = sum(event.dur for event in tracer.events
+                   if event.kind == CPU and event.node == name)
+        _, max_queue = tracer.gauges.get(("queue_depth", name),
+                                         (0.0, 0.0))
+        rows.append([
+            name,
+            int(tracer.counter("messages_sent", name)),
+            int(tracer.counter("messages_received", name)),
+            int(tracer.counter("retransmissions", name)),
+            f"{busy:.6f}",
+            int(max_queue),
+        ])
+    return format_table(headers, rows)

@@ -13,6 +13,7 @@ import math
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.tracer import NULL_TRACER
 
 
 class ScheduledEvent:
@@ -63,6 +64,12 @@ class Simulator:
         #: maintained incrementally so ``pending()`` is O(1).
         self._live = 0
         self.events_executed = 0
+        #: Observability sink shared by everything built on this kernel
+        #: (nodes, network, behaviours).  The no-op default keeps the
+        #: run-loop and all hook sites at a guarded attribute check;
+        #: the kernel itself never records per-event traces — at
+        #: millions of callbacks per run that would swamp any trace.
+        self.tracer = NULL_TRACER
 
     @property
     def now(self) -> float:

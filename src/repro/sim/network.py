@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs import events as ev
 from repro.sim.kernel import Simulator
 from repro.sim.node import SimNode
 
@@ -186,14 +187,30 @@ class Network:
         """
         link = self.link(src, dst)
         size = self.sizer(msg)
+        tracer = self.sim.tracer
         if self.drop_filter is not None and self.drop_filter(
                 src, dst, msg, size):
             link.stats.bytes_dropped += size
             link.stats.messages_dropped += 1
+            if tracer.enabled:
+                tracer.event(ev.MSG_DROP, self.sim.now, src, dst=dst,
+                             msg=type(msg).__name__, size=size)
+                tracer.inc("messages_dropped", src)
             return
         dst_node = self.node(dst)
         extra = (self.delay_fn(src, dst, msg)
                  if self.delay_fn is not None else 0.0)
+        if tracer.enabled:
+            tracer.event(ev.MSG_SEND, self.sim.now, src, dst=dst,
+                         msg=type(msg).__name__, size=size,
+                         window=getattr(msg, "window_index", None))
+            tracer.inc("messages_sent", src)
+            tracer.inc("bytes", f"{src}->{dst}", size)
+            tracer.inc("messages", f"{src}->{dst}")
+            if extra > 0:
+                tracer.event(ev.MSG_DELAY, self.sim.now, src, dst=dst,
+                             msg=type(msg).__name__, extra_s=extra)
+                tracer.inc("messages_delayed", src)
 
         def deliver():
             if extra > 0:

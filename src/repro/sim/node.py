@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Optional, Protocol
 
 from repro.errors import SimulationError
+from repro.obs import events as ev
 from repro.sim.kernel import Simulator
 
 
@@ -120,10 +121,18 @@ class SimNode:
     def crash(self) -> None:
         """Fail-stop this node; it silently drops everything afterwards."""
         self.crashed = True
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.event(ev.STATE, self.sim.now, self.name,
+                         transition="crash")
 
     def recover(self) -> None:
         """Restart a crashed node (state is the behaviour's concern)."""
         self.crashed = False
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.event(ev.STATE, self.sim.now, self.name,
+                         transition="recover")
 
     # -- message handling ----------------------------------------------------
 
@@ -150,6 +159,14 @@ class SimNode:
         self._queued += 1
         self.metrics.max_queue = max(self.metrics.max_queue, self._queued)
         self.metrics.busy_s += service
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.event(ev.QUEUE, self.sim.now, self.name,
+                         depth=self._queued)
+            tracer.gauge("queue_depth", self.name, self._queued)
+            if service > 0:
+                tracer.event(ev.CPU, start, self.name, dur=service,
+                             label=type(msg).__name__)
         self.sim.schedule_at(done, lambda m=msg: self._handle(m))
 
     def _handle(self, msg: Any) -> None:
@@ -157,9 +174,19 @@ class SimNode:
         if self.crashed:
             return
         self.metrics.messages += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.event(ev.MSG_RECV, self.sim.now, self.name,
+                         msg=type(msg).__name__,
+                         window=getattr(msg, "window_index", None))
+            # Dequeue sample: no gauge call — the depth maximum is
+            # always established on the enqueue side in deliver().
+            tracer.event(ev.QUEUE, self.sim.now, self.name,
+                         depth=self._queued)
+            tracer.inc("messages_received", self.name)
         self.behavior.on_message(self, msg)
 
-    def occupy(self, duration: float) -> float:
+    def occupy(self, duration: float, label: str = "work") -> float:
         """Occupy this node's CPU for ``duration`` seconds of work.
 
         Used for work not triggered by a message delivery (window-end
@@ -174,6 +201,10 @@ class SimNode:
         done = start + duration
         self._cpu_free_at = done
         self.metrics.busy_s += duration
+        tracer = self.sim.tracer
+        if tracer.enabled and duration > 0:
+            tracer.event(ev.CPU, start, self.name, dur=duration,
+                         label=label)
         return done
 
     # -- sending -------------------------------------------------------------
@@ -190,7 +221,7 @@ class SimNode:
             return
         if self.network is None:
             raise SimulationError(f"node {self.name} is not attached")
-        done = self.occupy(self.profile.message_overhead_s)
+        done = self.occupy(self.profile.message_overhead_s, label="send")
         if done > self.sim.now:
             self.sim.schedule_at(
                 done, lambda: self.network.send(self.name, dst, msg))

@@ -25,6 +25,7 @@ debuggable (breakpoints, pdb, exceptions with full local state).
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -33,6 +34,8 @@ from repro.core.runner import RunConfig, get_scheme, run_scheme
 from repro.core.workload import (Workload, WorkloadCache, WorkloadSpec,
                                  default_cache, load_workload)
 from repro.errors import ConfigurationError
+from repro.obs.summary import TraceSummary
+from repro.obs.tracer import RunTracer
 
 #: Environment variable setting the default worker count.
 JOBS_ENV = "REPRO_JOBS"
@@ -56,32 +59,44 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 #: Per-worker memo of spilled workloads, so a worker that runs several
-#: schemes over the same workload loads the ``.npz`` once.
-_WORKER_WORKLOADS: Dict[str, Workload] = {}
+#: schemes over the same workload loads the ``.npz`` once.  Ordered by
+#: recency of use: eviction removes only the least-recently-used entry,
+#: so the workloads a worker keeps cycling through stay resident.
+_WORKER_WORKLOADS: "OrderedDict[str, Workload]" = OrderedDict()
 _WORKER_MEMO_CAPACITY = 4
 
 
 def _run_one(config: RunConfig,
-             payload: Union[None, str, Workload]) -> RunResult:
+             payload: Union[None, str, Workload]
+             ) -> Tuple[RunResult, Optional[TraceSummary]]:
     """Worker entry point: run one config over a shipped workload.
 
     ``payload`` is a spill-file path (the normal case — workers load
     the pre-generated workload with ``np.load`` instead of regenerating
     it), an in-memory :class:`Workload` (spilling disabled), or ``None``
     (generate locally).
+
+    Returns the run result plus a picklable
+    :class:`~repro.obs.summary.TraceSummary` when ``config.trace`` is
+    set (full event lists stay worker-side; only the rollup ships back).
     """
     workload: Optional[Workload]
     if isinstance(payload, str):
         workload = _WORKER_WORKLOADS.get(payload)
         if workload is None:
             workload = load_workload(payload)
-            if len(_WORKER_WORKLOADS) >= _WORKER_MEMO_CAPACITY:
-                _WORKER_WORKLOADS.clear()
+            while len(_WORKER_WORKLOADS) >= _WORKER_MEMO_CAPACITY:
+                _WORKER_WORKLOADS.popitem(last=False)
             _WORKER_WORKLOADS[payload] = workload
+        else:
+            _WORKER_WORKLOADS.move_to_end(payload)
     else:
         workload = payload
-    result, _ = run_scheme(config, workload)
-    return result
+    tracer = RunTracer() if config.trace else None
+    result, _ = run_scheme(config, workload, tracer)
+    summary = (TraceSummary.from_tracer(tracer, scheme=config.scheme)
+               if tracer is not None else None)
+    return result, summary
 
 
 class SweepExecutor:
@@ -98,6 +113,10 @@ class SweepExecutor:
                  cache: Optional[WorkloadCache] = None):
         self.jobs = resolve_jobs(jobs)
         self.cache = cache if cache is not None else default_cache()
+        #: Per-config trace rollups of the last sweep, aligned with the
+        #: submitted configs (``None`` for untraced runs).  Merge with
+        #: :func:`repro.obs.summary.merge_summaries` for a fleet view.
+        self.trace_summaries: List[Optional[TraceSummary]] = []
 
     def run(self, configs: Sequence[RunConfig]) -> List[RunResult]:
         """Run every config; results in submission order."""
@@ -114,6 +133,7 @@ class SweepExecutor:
         which the metrics layer needs for correctness/latency.
         """
         configs = list(configs)
+        self.trace_summaries = []
         if not configs:
             return []
         # Fail fast on typo'd scheme names before spending seconds
@@ -127,10 +147,13 @@ class SweepExecutor:
             if spec not in workloads:
                 workloads[spec] = self.cache.get(spec)
         if self.jobs == 1 or len(configs) == 1:
-            return [(run_scheme(config,
-                                workloads[config.workload_key()])[0],
-                     workloads[config.workload_key()])
-                    for config in configs]
+            out: List[Tuple[RunResult, Workload]] = []
+            for config in configs:
+                workload = workloads[config.workload_key()]
+                result, summary = _run_one(config, workload)
+                self.trace_summaries.append(summary)
+                out.append((result, workload))
+            return out
         # Ship workloads as spill paths when possible (workers np.load
         # the shared file) and fall back to pickling the workload.
         payloads: Dict[WorkloadSpec, Union[str, Workload]] = {}
@@ -145,6 +168,10 @@ class SweepExecutor:
                 pool.submit(_run_one, config,
                             payloads[config.workload_key()])
                 for config in configs]
-            results = [future.result() for future in futures]
+            results = []
+            for future in futures:
+                result, summary = future.result()
+                results.append(result)
+                self.trace_summaries.append(summary)
         return [(result, workloads[config.workload_key()])
                 for result, config in zip(results, configs)]

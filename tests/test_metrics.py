@@ -76,6 +76,57 @@ class TestThroughput:
         assert 0.0 <= overhead < 1.0
 
 
+class TestThroughputSkipsByIndex:
+    """Regression: warm-up skipping is by window *index*, not list
+    position, and gapped outcome sets are rejected by name instead of
+    silently anchoring the steady-state interval on the wrong window."""
+
+    @staticmethod
+    def result_with_windows(pairs, window_size=100):
+        """A result holding exactly the given (index, emit_time)s."""
+        result = RunResult(scheme="test", n_nodes=2,
+                           window_size=window_size)
+        for index, emit in pairs:
+            result.outcomes.append(WindowOutcome(
+                index=index, result=float(index), emit_time=emit))
+        result.sim_time = max(t for _, t in pairs)
+        return result
+
+    def test_missing_bootstrap_window_keeps_index_anchor(self):
+        # Window 1 never emitted (crashed early run); windows 2..9 have
+        # deliberately non-uniform emit times so a positional anchor
+        # (list slot skip-1 = window 3) would give a different answer
+        # than the correct index anchor (window 2).
+        pairs = [(0, 1.0)] + list(
+            zip(range(2, 10), [3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 20.0]))
+        result = self.result_with_windows(pairs)
+        # Steady state: windows 3..9 (7 windows) over t(9) - t(2).
+        assert sustainable_throughput(result, skip=3) == pytest.approx(
+            7 * 100 / (20.0 - 3.0))
+
+    def test_missing_steady_window_rejected_by_name(self):
+        pairs = [(g, float(g + 1)) for g in range(10) if g != 5]
+        result = self.result_with_windows(pairs)
+        with pytest.raises(ConfigurationError, match=r"\[5\]"):
+            sustainable_throughput(result, skip=3)
+
+    def test_missing_anchor_window_rejected_by_name(self):
+        pairs = [(g, float(g + 1)) for g in range(10) if g != 2]
+        result = self.result_with_windows(pairs)
+        with pytest.raises(ConfigurationError, match=r"\[2\]"):
+            sustainable_throughput(result, skip=3)
+
+    def test_skip_zero_gap_rejected_by_name(self):
+        result = self.result_with_windows([(0, 1.0), (2, 3.0)])
+        with pytest.raises(ConfigurationError, match=r"\[1\]"):
+            sustainable_throughput(result, skip=0)
+
+    def test_contiguous_run_unchanged(self):
+        result = make_result(n_windows=10, window_size=100, spacing=1.0)
+        assert sustainable_throughput(result, skip=3) == pytest.approx(
+            7 * 100 / (10.0 - 3.0))
+
+
 class TestLatency:
     def setup_method(self):
         self.workload = generate_workload(2, 1_000, 6,
@@ -120,6 +171,31 @@ class TestLatency:
         with pytest.raises(ConfigurationError):
             window_latencies(result, self.workload, 64,
                              skip_bootstrap=3)
+
+    def test_missing_steady_window_rejected_by_name(self):
+        """Regression: a fault run that lost a steady-state window must
+        not report a latency distribution over the survivors."""
+        result = RunResult(scheme="x", n_nodes=2, window_size=1_000)
+        triggers = trigger_times(self.workload, 64)
+        for g in range(6):
+            if g == 4:
+                continue
+            result.outcomes.append(WindowOutcome(
+                index=g, result=0.0, emit_time=triggers[g] + 0.01))
+        with pytest.raises(ConfigurationError, match=r"\[4\]"):
+            window_latencies(result, self.workload, 64)
+
+    def test_missing_bootstrap_window_tolerated(self):
+        """Windows below skip_bootstrap are excluded by *index*; their
+        absence from the outcomes is irrelevant."""
+        result = RunResult(scheme="x", n_nodes=2, window_size=1_000)
+        triggers = trigger_times(self.workload, 64)
+        for g in range(3, 6):
+            result.outcomes.append(WindowOutcome(
+                index=g, result=0.0, emit_time=triggers[g] + 0.01))
+        lat = window_latencies(result, self.workload, 64)
+        assert len(lat) == 3
+        assert np.allclose(lat, 0.01)
 
 
 class TestNetworkMetrics:

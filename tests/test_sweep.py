@@ -230,6 +230,77 @@ class TestWorkloadCache:
         cache.get(self.SPEC)
         assert cache.generated == 2
 
+    def test_ensure_spilled_respills_missing_file(self, tmp_path):
+        """Regression: an in-memory LRU hit must not vouch for the
+        spill file — ``ensure_spilled`` re-writes it when it has gone
+        missing (e.g. a cleaned tmp dir), since workers will np.load
+        the returned path."""
+        cache = WorkloadCache(spill_dir=tmp_path)
+        workload = cache.get(self.SPEC)  # generates + spills + caches
+        path = cache.path(self.SPEC)
+        assert path.exists()
+        path.unlink()
+        returned = cache.ensure_spilled(self.SPEC)
+        assert returned == path
+        assert path.exists(), \
+            "ensure_spilled returned a path with no file behind it"
+        reloaded = load_workload(path)
+        assert all(a == b for a, b in zip(reloaded.streams,
+                                          workload.streams))
+
+    def test_ensure_spilled_rejects_spill_disabled(self, tmp_path):
+        cache = WorkloadCache(spill_dir=tmp_path, spill=False)
+        with pytest.raises(ConfigurationError):
+            cache.ensure_spilled(self.SPEC)
+
+
+class TestWorkerMemoLRU:
+    """Regression: the worker-side workload memo must evict one LRU
+    entry at a time, not wholesale-clear.  With a recency-biased access
+    pattern over 6 distinct workloads and capacity 4, true LRU loads
+    each spill file at most twice; the old clear-everything eviction
+    reloaded a recently-used workload a third time."""
+
+    def test_recency_biased_pattern_reloads_at_most_twice(
+            self, tmp_path, monkeypatch):
+        import repro.sweep as sweep_mod
+        from collections import OrderedDict
+
+        monkeypatch.setattr(sweep_mod, "_WORKER_WORKLOADS",
+                            OrderedDict())
+        loads = {}
+        real = sweep_mod.load_workload
+
+        def counting(path):
+            loads[path] = loads.get(path, 0) + 1
+            return real(path)
+
+        monkeypatch.setattr(sweep_mod, "load_workload", counting)
+        cache = WorkloadCache(spill_dir=tmp_path / "c", capacity=8)
+        kwargs = dict(n_nodes=1, window_size=300, n_windows=2,
+                      rate_per_node=5_000.0)
+        # Fill the memo (seeds 0-3), overflow it (4), revisit warm
+        # entries (2, 3), overflow again (5, 0), revisit 2 — which
+        # stayed hot the whole time and must never need a third load.
+        seed_order = [0, 1, 2, 3, 4, 2, 3, 5, 0, 2]
+        paths = {}
+        for seed in sorted(set(seed_order)):
+            config = RunConfig(scheme="central", seed=seed, **kwargs)
+            paths[seed] = str(
+                cache.ensure_spilled(config.workload_key()))
+        for seed in seed_order:
+            config = RunConfig(scheme="central", seed=seed, **kwargs)
+            out = sweep_mod._run_one(config, paths[seed])
+            result = out[0] if isinstance(out, tuple) else out
+            assert result.n_windows == 2
+        assert len(sweep_mod._WORKER_WORKLOADS) <= \
+            sweep_mod._WORKER_MEMO_CAPACITY
+        worst = max(loads.values())
+        assert worst <= 2, (
+            f"a workload spill file was loaded {worst} times; "
+            f"eviction is dropping recently-used entries: "
+            f"{ {p.rsplit('/', 1)[-1]: n for p, n in loads.items()} }")
+
 
 class TestRunConfigWorkloadKey:
     def test_equal_workload_params_equal_key(self):
