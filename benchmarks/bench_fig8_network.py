@@ -38,4 +38,5 @@ def test_fig8b_multi_node(benchmark, scale, record_table):
     assert 0.5 * (nodes[-1] / nodes[0]) < growth < 2.0 * (
         nodes[-1] / nodes[0])
     # Deco stays far below the centralized baselines at every size.
-    assert all(d < 0.2 * c for d, c in zip(deco, central))
+    assert all(d < 0.2 * c
+               for d, c in zip(deco, central, strict=True))

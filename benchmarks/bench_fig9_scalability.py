@@ -40,4 +40,4 @@ def test_fig9b_latency_scaling(benchmark, scale, record_table):
     deco = [float(r[-1]) for r in rows]
     # Centralized latency stays roughly constant per event volume;
     # Deco's stays below it everywhere.
-    assert all(d < c for d, c in zip(deco, central))
+    assert all(d < c for d, c in zip(deco, central, strict=True))

@@ -20,6 +20,10 @@ step with a hard exit code)::
 
     PYTHONPATH=src python benchmarks/trace_overhead_smoke.py
 """
+# This harness *measures host wall-clock* by design — it times the
+# simulator from outside rather than running inside it.
+# decolint: disable-file=DL001
+
 
 import sys
 import time

@@ -48,7 +48,8 @@ def main():
     # Every emitted window matches the ground truth exactly.
     reference = deco.workload.reference_result(Sum())
     assert all(abs(a - b) < 1e-6
-               for a, b in zip(deco.result.results, reference))
+               for a, b in zip(deco.result.results, reference,
+                               strict=True))
     print("Verified: Deco_async's window results equal Central's.")
 
 

@@ -41,7 +41,7 @@ def factory_workload(seed=42):
     streams = []
     needed_seconds = (N_BATCHES + 3) * BATCH_SIZE / sum(
         r for _, r, _ in ASSEMBLY_LINES)
-    for i, (name, rate, variability) in enumerate(ASSEMBLY_LINES):
+    for i, (_name, rate, variability) in enumerate(ASSEMBLY_LINES):
         gen = RateChangeGenerator(
             rate, variability, epoch_seconds=0.5,
             value_source=GaussianValues(95.0, 2.0), seed=seed + i)
@@ -86,7 +86,8 @@ def main():
     print(f"  worst batch mixed in "
           f"{(1 - min(per_batch)) * 100:.1f}% foreign products.")
     reference = workload.reference_result(get_aggregate("avg"))
-    worst = max(abs(a - r) for a, r in zip(approx.results, reference))
+    worst = max(abs(a - r)
+                for a, r in zip(approx.results, reference, strict=True))
     print(f"  worst average-quality error: {worst:.4f} points "
           f"(Deco: 0.0000).")
 

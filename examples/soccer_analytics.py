@@ -59,7 +59,8 @@ def main():
     deco_avg = outputs[("deco_async", "avg")]
     deco_max = outputs[("deco_async", "max")]
     for g, (mean, peak) in enumerate(zip(deco_avg.results,
-                                         deco_max.results)):
+                                         deco_max.results,
+                                         strict=True)):
         print(f"{g:>5}  {mean:>13.3f}  {peak:>14.3f}")
 
     # Deco equals the centralized ground truth on real-trace values.

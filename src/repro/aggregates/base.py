@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 from repro.errors import AggregationError
 from repro.streams.batch import EventBatch

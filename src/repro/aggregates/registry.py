@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from collections.abc import Callable
 
 from repro.aggregates.algebraic import Average, StdDev, Variance
 from repro.aggregates.base import AggregateFunction
@@ -10,7 +10,9 @@ from repro.aggregates.distributive import Count, Max, Min, Sum
 from repro.aggregates.holistic import Median, Quantile
 from repro.errors import AggregationError
 
-_FACTORIES: Dict[str, Callable[[], AggregateFunction]] = {
+# Import-time registry: run code only reads it; `register` is a
+# user-facing extension point called before any run starts.
+_FACTORIES: dict[str, Callable[[], AggregateFunction]] = {  # decolint: disable=DL005
     "sum": Sum,
     "count": Count,
     "min": Min,
@@ -39,15 +41,17 @@ def get_aggregate(name: str) -> AggregateFunction:
         try:
             q = float(name[len("quantile("):-1])
         except ValueError:
-            raise AggregationError(f"malformed quantile spec {name!r}")
+            raise AggregationError(
+                f"malformed quantile spec {name!r}") from None
         return Quantile(q)
     try:
         return _FACTORIES[name]()
     except KeyError:
         raise AggregationError(
-            f"unknown aggregate {name!r}; known: {sorted(_FACTORIES)}")
+            f"unknown aggregate {name!r}; "
+            f"known: {sorted(_FACTORIES)}") from None
 
 
-def available_aggregates() -> List[str]:
+def available_aggregates() -> list[str]:
     """Names of all registered aggregation functions."""
     return sorted(_FACTORIES)

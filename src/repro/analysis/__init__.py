@@ -1,0 +1,36 @@
+"""``repro.analysis`` — deco-lint and the determinism contract.
+
+Three enforcement layers for the reproduction's core invariant (every
+run is a single-threaded, reproducible computation):
+
+* :mod:`repro.analysis.lint` / :mod:`repro.analysis.rules` — deco-lint,
+  the repo-specific AST rules (DL001-DL005) run by ``repro lint`` and
+  CI.
+* :mod:`repro.analysis.determinism` — the schedule-determinism harness:
+  re-runs a config under permuted kernel tie-break salts and asserts
+  bit-identical outcomes.
+* :mod:`repro.analysis.fsm` — per-scheme protocol FSMs validated
+  against traced message flows.
+"""
+
+from repro.analysis.determinism import (DEFAULT_SALTS,
+                                        DeterminismViolation,
+                                        Fingerprint, check_all_schemes,
+                                        check_determinism,
+                                        fingerprint_run)
+from repro.analysis.fsm import (SCHEME_FSMS, FsmViolation, ProtocolFSM,
+                                ProtocolViolation,
+                                assert_fsm_conformance, check_fsm,
+                                extract_token_streams)
+from repro.analysis.lint import (Finding, LintRule, all_rules,
+                                 lint_source, main, run_lint)
+from repro.analysis.rules import DEFAULT_RULES
+
+__all__ = [
+    "DEFAULT_SALTS", "DeterminismViolation", "Fingerprint",
+    "check_all_schemes", "check_determinism", "fingerprint_run",
+    "SCHEME_FSMS", "FsmViolation", "ProtocolFSM", "ProtocolViolation",
+    "assert_fsm_conformance", "check_fsm", "extract_token_streams",
+    "Finding", "LintRule", "all_rules", "lint_source", "main",
+    "run_lint", "DEFAULT_RULES",
+]

@@ -1,0 +1,154 @@
+"""Schedule-determinism harness: the runtime half of the contract.
+
+The static rules (:mod:`repro.analysis.rules`) forbid the *sources* of
+nondeterminism that grep can see; this harness tests the property
+itself.  It runs one :class:`~repro.core.runner.RunConfig` several
+times under permuted kernel tie-break salts — each salt deterministically
+permutes the order in which *same-time* events execute (see
+:class:`~repro.sim.kernel.Simulator`) — and asserts the results are
+bit-identical.
+
+Why this works: a correct scheme's outcome may depend on simulated
+*time* but never on the arbitrary order the heap happens to pop two
+events scheduled for the same instant.  Any hidden dependence on that
+order (iteration over a set feeding ``schedule_at``, a handler racing a
+feeder, ...) shows up as a diverging fingerprint under some salt,
+with no need to guess where the dependence lives.
+
+Fingerprints hash *bit* representations of floats (``float.hex``), not
+rounded reprs — the contract is bit-identity, not tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections.abc import Sequence
+
+from repro.core.records import RunResult
+from repro.core.runner import RunConfig, run_scheme
+from repro.core.workload import Workload, default_cache
+
+#: Salts used by default: 0 is the shipped ordering, the others
+#: scramble low/high seq bits in different patterns.
+DEFAULT_SALTS = (0, 1, 0x5A5A, 0xFFFF_FFFF)
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """The run-outcome signature that must be salt-invariant."""
+
+    #: Per-window tuples: (index, result-bits, spans, corrected,
+    #: up_flows, down_flows).  Emission *times* are deliberately NOT
+    #: fingerprinted: which of two same-instant deliveries queues first
+    #: on a CPU shifts downstream micro-timing, and that order is
+    #: exactly what the salt permutes.  The contract covers *what* was
+    #: computed and communicated, bit for bit — not the sub-microsecond
+    #: schedule it was computed on.
+    windows: tuple[tuple, ...]
+    bytes_up: int
+    bytes_down: int
+    bytes_peer: int
+    messages: int
+    retransmissions: int
+    correction_steps: int
+    prediction_errors: int
+    recomputed_events: int
+
+    @classmethod
+    def of(cls, result: RunResult) -> "Fingerprint":
+        windows = tuple(
+            (o.index, o.result.hex(),
+             tuple(sorted(o.spans.items())), o.corrected,
+             o.up_flows, o.down_flows)
+            for o in sorted(result.outcomes, key=lambda o: o.index))
+        return cls(windows=windows, bytes_up=result.bytes_up,
+                   bytes_down=result.bytes_down,
+                   bytes_peer=result.bytes_peer,
+                   messages=result.messages,
+                   retransmissions=result.retransmissions,
+                   correction_steps=result.correction_steps,
+                   prediction_errors=result.prediction_errors,
+                   recomputed_events=result.recomputed_events)
+
+    def diff(self, other: "Fingerprint") -> list[str]:
+        """Human-readable field-level differences (empty if equal)."""
+        out: list[str] = []
+        for name in ("bytes_up", "bytes_down", "bytes_peer", "messages",
+                     "retransmissions", "correction_steps",
+                     "prediction_errors", "recomputed_events"):
+            a, b = getattr(self, name), getattr(other, name)
+            if a != b:
+                out.append(f"{name}: {a} != {b}")
+        if len(self.windows) != len(other.windows):
+            out.append(f"window count: {len(self.windows)} != "
+                       f"{len(other.windows)}")
+        else:
+            for a, b in zip(self.windows, other.windows,
+                            strict=True):
+                if a != b:
+                    out.append(f"window {a[0]}: {a} != {b}")
+                    break
+        return out
+
+
+class DeterminismViolation(AssertionError):
+    """A run's outcome depended on same-time event ordering."""
+
+
+def fingerprint_run(config: RunConfig,
+                    workload: Workload | None = None,
+                    ) -> tuple[Fingerprint, Workload]:
+    """Run a config once and fingerprint the outcome."""
+    result, used = run_scheme(config, workload)
+    return Fingerprint.of(result), used
+
+
+def check_determinism(config: RunConfig,
+                      salts: Sequence[int] = DEFAULT_SALTS,
+                      workload: Workload | None = None,
+                      ) -> Fingerprint:
+    """Run ``config`` under every salt; raise on any divergence.
+
+    The workload is generated once and shared, so the only varying
+    input is the kernel's same-time ordering.  Returns the (common)
+    fingerprint on success.
+
+    Raises:
+        DeterminismViolation: when any salt's fingerprint differs from
+            salt ``salts[0]``'s, with a field-level diff in the message.
+    """
+    if not salts:
+        raise ValueError("need at least one salt")
+    baseline: Fingerprint | None = None
+    base_salt = salts[0]
+    for salt in salts:
+        fp, workload = fingerprint_run(
+            replace(config, tiebreak_salt=salt), workload)
+        if baseline is None:
+            baseline = fp
+        elif fp != baseline:
+            diff = "; ".join(baseline.diff(fp)) or "(unequal)"
+            raise DeterminismViolation(
+                f"scheme {config.scheme!r} diverged under tie-break "
+                f"salt {salt:#x} (vs {base_salt:#x}): {diff}")
+    assert baseline is not None
+    return baseline
+
+
+def check_all_schemes(schemes: Sequence[str],
+                      salts: Sequence[int] = DEFAULT_SALTS,
+                      **config_kwargs) -> dict[str, Fingerprint]:
+    """Determinism-check several schemes on one small config.
+
+    Shares the workload across schemes (same ``workload_key``).
+    Returns each scheme's fingerprint; raises on the first violation.
+    """
+    fingerprints: dict[str, Fingerprint] = {}
+    workload: Workload | None = None
+    for scheme in schemes:
+        config = RunConfig(scheme=scheme, **config_kwargs)
+        if workload is None:
+            workload = default_cache().get(config.workload_key())
+        fingerprints[scheme] = check_determinism(
+            config, salts=salts, workload=workload)
+    return fingerprints

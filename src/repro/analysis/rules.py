@@ -1,0 +1,536 @@
+"""The deco-lint rule set (DL001-DL005).
+
+Each rule encodes one clause of the simulator's determinism contract
+(see DESIGN.md section 8).  All rules are purely syntactic/AST-based —
+they over-approximate where type information would be needed, and every
+rule supports per-line ``# decolint: disable=DLxxx`` suppression for
+the deliberate exceptions.
+
+DL001  no wall-clock or unseeded randomness in simulation code
+DL002  no iteration over unordered collections in simulation code
+DL003  no float ``==`` / ``!=`` in metrics and aggregates
+DL004  tracer hot-path calls must be guarded by ``.enabled``
+DL005  no mutable default arguments; no mutated module-level state
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.lint import FileContext, Finding, LintRule
+
+#: The packages whose execution happens *inside* a simulated run.
+SIM_SCOPE = ("repro/sim", "repro/core", "repro/baselines")
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _AliasCollector(ast.NodeVisitor):
+    """Map local names to the dotted import path they resolve to."""
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0])
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports never alias stdlib modules
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name] = (
+                f"{node.module}.{alias.name}")
+
+
+def _resolve_chain(node: ast.AST, aliases: dict[str, str]
+                   ) -> str | None:
+    """Dotted call target with its root resolved through imports."""
+    chain = _dotted(node)
+    if chain is None:
+        return None
+    root, _, rest = chain.partition(".")
+    resolved = aliases.get(root)
+    if resolved is None:
+        return chain
+    return f"{resolved}.{rest}" if rest else resolved
+
+
+class NoWallClockOrUnseededRandom(LintRule):
+    """DL001: simulation code must not read wall-clock time or draw
+    from unseeded randomness.
+
+    Simulated time comes from :attr:`Simulator.now
+    <repro.sim.kernel.Simulator.now>`; randomness comes from the
+    workload generator's seeded RNG.  A ``time.time()`` or
+    ``random.random()`` anywhere in ``sim/``, ``core/``, or
+    ``baselines/`` makes runs irreproducible and scheme comparisons
+    untrustworthy.
+    """
+
+    code = "DL001"
+    name = "no-wall-clock-or-unseeded-random"
+    summary = ("wall-clock reads and unseeded RNG draws are forbidden "
+               "in simulation code")
+    scope = SIM_SCOPE
+
+    #: Fully-resolved call targets that read the host clock or global
+    #: entropy.
+    BANNED_EXACT = frozenset({
+        "time.time", "time.time_ns", "time.monotonic",
+        "time.monotonic_ns", "time.perf_counter",
+        "time.perf_counter_ns", "time.process_time",
+        "time.process_time_ns", "time.sleep",
+        "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+    })
+    #: Classmethod-style clock reads (suffix match: the class may be
+    #: reached as ``datetime.datetime`` or a bare imported name).
+    BANNED_SUFFIXES = ("datetime.now", "datetime.utcnow",
+                       "datetime.today", "date.today")
+    #: ``numpy.random`` members that are seeding-aware constructors
+    #: (checked separately for missing seeds) rather than global draws.
+    NUMPY_CONSTRUCTORS = frozenset({
+        "default_rng", "RandomState", "Generator", "SeedSequence",
+        "PCG64", "Philox", "MT19937", "SFC64", "BitGenerator",
+    })
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        collector = _AliasCollector()
+        collector.visit(ctx.tree)
+        aliases = collector.aliases
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _resolve_chain(node.func, aliases)
+            if chain is None:
+                continue
+            if chain in self.BANNED_EXACT:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock/entropy call `{chain}()` in simulation "
+                    f"code; use simulated time (`sim.now`) or the "
+                    f"seeded workload RNG")
+                continue
+            if chain.endswith(self.BANNED_SUFFIXES):
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock read `{chain}()`; simulation code must "
+                    f"use `sim.now`")
+                continue
+            yield from self._check_random(ctx, node, chain)
+
+    def _check_random(self, ctx: FileContext, node: ast.Call,
+                      chain: str) -> Iterable[Finding]:
+        parts = chain.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            fn = parts[1]
+            if fn in ("Random", "SystemRandom"):
+                if fn == "SystemRandom" or not node.args:
+                    yield self.finding(
+                        ctx, node,
+                        f"unseeded RNG `random.{fn}()`; construct "
+                        f"`random.Random(seed)` from the run config")
+            elif fn != "seed":
+                yield self.finding(
+                    ctx, node,
+                    f"global RNG draw `random.{fn}()`; use a seeded "
+                    f"`random.Random` / `numpy` generator instead")
+        elif parts[:2] == ["numpy", "random"] and len(parts) == 3:
+            fn = parts[2]
+            if fn in ("default_rng", "RandomState"):
+                if not node.args:
+                    yield self.finding(
+                        ctx, node,
+                        f"unseeded `numpy.random.{fn}()`; pass an "
+                        f"explicit seed")
+            elif fn not in self.NUMPY_CONSTRUCTORS and fn != "seed":
+                yield self.finding(
+                    ctx, node,
+                    f"legacy global RNG draw `numpy.random.{fn}()`; "
+                    f"use a seeded `numpy.random.default_rng(seed)`")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Whether ``node`` evaluates to a set (syntactically)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
+        # set algebra: s1 | s2, s1 & s2, s1 - s2 — only when a side is
+        # itself syntactically a set.
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class NoUnorderedIteration(LintRule):
+    """DL002: no iteration over sets (or ``dict.keys()``) in simulation
+    code.
+
+    Set iteration order depends on insertion history and — for strings
+    — on the per-process hash seed, so any event scheduling or message
+    emission it feeds differs between runs.  Iterate ``sorted(...)`` or
+    an explicitly ordered structure instead.  ``dict`` iteration is
+    insertion-ordered, but ``.keys()`` in a ``for`` is flagged anyway:
+    iterate the dict itself, which makes the (deterministic) source of
+    the order visible.
+    """
+
+    code = "DL002"
+    name = "no-unordered-iteration"
+    summary = ("iterating sets (or dict.keys()) feeds nondeterministic "
+               "order into scheduling/emission")
+    scope = SIM_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        # Track simple local `name = <set expr>` bindings per scope so
+        # `s = set(...); for x in s:` is caught too.
+        for scope_node, set_names in self._scopes(ctx.tree):
+            for node in self._scope_walk(scope_node):
+                yield from self._check_node(ctx, node, set_names)
+
+    def _scopes(self, tree: ast.Module):
+        scopes = [(tree, self._set_bindings(tree))]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append((node, self._set_bindings(node)))
+        return scopes
+
+    def _set_bindings(self, scope: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for node in self._scope_walk(scope):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif (isinstance(node, ast.AnnAssign)
+                  and node.value is not None
+                  and _is_set_expr(node.value)
+                  and isinstance(node.target, ast.Name)):
+                names.add(node.target.id)
+        return names
+
+    def _scope_walk(self, scope: ast.AST):
+        """Walk a scope without descending into nested functions."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _check_node(self, ctx: FileContext, node: ast.AST,
+                    set_names: set[str]) -> Iterable[Finding]:
+        iters: list[ast.AST] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Name)
+              and node.func.id in ("list", "tuple")
+              and len(node.args) == 1
+              and self._is_unordered(node.args[0], set_names)):
+            yield self.finding(
+                ctx, node,
+                f"`{node.func.id}()` over a set preserves the set's "
+                f"nondeterministic order; use `sorted(...)`")
+            return
+        for it in iters:
+            if self._is_unordered(it, set_names):
+                yield self.finding(
+                    ctx, it,
+                    "iteration over an unordered set; use "
+                    "`sorted(...)` (or an insertion-ordered dict/list)")
+            elif (isinstance(it, ast.Call)
+                  and isinstance(it.func, ast.Attribute)
+                  and it.func.attr == "keys" and not it.args):
+                yield self.finding(
+                    ctx, it,
+                    "iterate the dict itself, not `.keys()`, so the "
+                    "ordering source is explicit")
+
+    def _is_unordered(self, node: ast.AST, set_names: set[str]) -> bool:
+        if _is_set_expr(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in set_names
+
+
+class NoFloatEquality(LintRule):
+    """DL003: no float ``==`` / ``!=`` in ``metrics/`` and
+    ``aggregates/``.
+
+    Error metrics and aggregate combiners work on accumulated floats;
+    exact equality on those silently degrades into
+    platform/order-dependent behaviour.  Compare with a tolerance
+    (``math.isclose``), or compare integer counts instead.
+
+    Heuristic: a comparison is flagged when either operand is
+    syntactically float-valued (a float literal, a true division, a
+    ``float(...)``/``math.*(...)`` call, or a ``sum(...)`` over
+    division results).
+    """
+
+    code = "DL003"
+    name = "no-float-equality"
+    summary = ("exact ==/!= between floats in metrics/aggregates; "
+               "use math.isclose or integer counts")
+    scope = ("repro/metrics", "repro/aggregates")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, (left, right) in zip(
+                    node.ops, zip(operands, operands[1:], strict=False),
+                    strict=False):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._floatish(left) or self._floatish(right):
+                    yield self.finding(
+                        ctx, node,
+                        "exact float equality; use math.isclose() "
+                        "(or compare integer counts)")
+                    break
+
+    def _floatish(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self._floatish(node.left) or self._floatish(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._floatish(node.operand)
+        if isinstance(node, ast.Call):
+            chain = _dotted(node.func)
+            if chain is None:
+                return False
+            if chain == "float":
+                return True
+            if chain in ("sum", "min", "max", "abs"):
+                return any(self._floatish(a) for a in node.args)
+            return chain.startswith(("math.", "np.", "numpy.")) and \
+                not chain.endswith(
+                    ("isclose", "allclose", "array_equal"))
+        return False
+
+
+class GuardedTracerCalls(LintRule):
+    """DL004: tracer recording calls in simulation code must sit under
+    an ``if <tracer>.enabled:`` guard.
+
+    The PR-3 convention keeps untraced runs at one attribute load plus
+    a branch per *message*: hooks hoist ``tracer = self.ctx.tracer``
+    and only build event payloads under ``if tracer.enabled:``.  An
+    unguarded ``tracer.event(...)`` evaluates its (often f-string /
+    dict-building) arguments on every call even when tracing is off —
+    a silent hot-path regression the type checker cannot see.
+    """
+
+    code = "DL004"
+    name = "guarded-tracer-calls"
+    summary = ("tracer.event/inc/gauge in simulation code must be "
+               "inside `if tracer.enabled:`")
+    scope = SIM_SCOPE
+
+    RECORDING = ("event", "inc", "gauge")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        yield from self._visit(ctx, ctx.tree, guarded=False)
+
+    def _visit(self, ctx: FileContext, node: ast.AST,
+               guarded: bool) -> Iterable[Finding]:
+        if isinstance(node, ast.If) and self._is_guard(node.test):
+            # The guard covers only the if-body, never the else.
+            for stmt in node.body:
+                yield from self._visit(ctx, stmt, True)
+            for stmt in node.orelse:
+                yield from self._visit(ctx, stmt, guarded)
+            return
+        if (isinstance(node, ast.Call)
+                and self._is_recording_call(node) and not guarded):
+            yield self.finding(
+                ctx, node,
+                f"unguarded tracer call `{_dotted(node.func)}(...)`; "
+                f"wrap in `if tracer.enabled:` (hot-path convention)")
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(ctx, child, guarded)
+
+    def _is_guard(self, test: ast.AST) -> bool:
+        """A test that references some ``<...>.enabled`` attribute."""
+        return any(isinstance(sub, ast.Attribute)
+                   and sub.attr == "enabled"
+                   for sub in ast.walk(test))
+
+    def _is_recording_call(self, call: ast.Call) -> bool:
+        func = call.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in self.RECORDING):
+            return False
+        chain = _dotted(func.value)
+        return chain is not None and "tracer" in chain.lower()
+
+
+_MUTABLE_CALLS = frozenset({
+    "dict", "list", "set", "OrderedDict", "defaultdict", "deque",
+    "Counter",
+})
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "clear", "remove", "discard", "move_to_end",
+})
+
+
+def _is_mutable_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = _dotted(node.func)
+        if chain is None:
+            return False
+        return chain.split(".")[-1] in _MUTABLE_CALLS
+    return False
+
+
+class NoSharedMutableState(LintRule):
+    """DL005: no mutable default arguments; no module-level mutable
+    state that functions mutate.
+
+    Sweep workers import ``repro`` modules into long-lived processes
+    that execute *many* runs: a mutable default argument or a
+    module-level dict/list that handler code mutates leaks state
+    between runs (and between a worker's runs and the parent's),
+    breaking the serial/parallel bit-identity guarantee.  Module-level
+    registries that are only written at import time are fine — suppress
+    those explicitly with a justification.
+    """
+
+    code = "DL005"
+    name = "no-shared-mutable-state"
+    summary = ("mutable default args / function-mutated module globals "
+               "leak state across sweep-worker runs")
+    scope = ()  # applies to the whole package
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        yield from self._check_defaults(ctx)
+        yield from self._check_module_state(ctx)
+
+    def _check_defaults(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_expr(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default argument in `{name}`; "
+                        f"default to None and create inside the body")
+
+    def _check_module_state(self, ctx: FileContext) -> Iterable[Finding]:
+        # 1. Collect module-level names bound to mutable containers.
+        module_mutables: dict[str, ast.AST] = {}
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                if _is_mutable_expr(stmt.value):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            module_mutables[target.id] = stmt
+            elif (isinstance(stmt, ast.AnnAssign)
+                  and stmt.value is not None
+                  and isinstance(stmt.target, ast.Name)
+                  and _is_mutable_expr(stmt.value)):
+                module_mutables[stmt.target.id] = stmt
+        if not module_mutables:
+            return
+        # 2. Find mutations of those names inside function bodies.
+        mutated: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            local = self._local_bindings(node)
+            for sub in ast.walk(node):
+                name = self._mutated_name(sub)
+                if (name is not None and name in module_mutables
+                        and name not in local):
+                    mutated.add(name)
+        for name in mutated:
+            yield self.finding(
+                ctx, module_mutables[name],
+                f"module-level mutable `{name}` is mutated from "
+                f"function code; sweep workers share it across runs — "
+                f"pass state explicitly or document why this is safe "
+                f"with a suppression")
+
+    def _local_bindings(self, fn: ast.AST) -> set[str]:
+        """Names (re)bound locally, so shadowed globals don't count."""
+        names: set[str] = set()
+        args = fn.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])):
+            names.add(arg.arg)
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(sub, ast.AnnAssign) and isinstance(
+                    sub.target, ast.Name):
+                names.add(sub.target.id)
+            elif isinstance(sub, ast.Global):
+                names.difference_update(sub.names)
+        return names
+
+    def _mutated_name(self, node: ast.AST) -> str | None:
+        # x[...] = v   /   del x[...]
+        if isinstance(node, (ast.Assign, ast.Delete)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else node.targets)
+            for target in targets:
+                if (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)):
+                    return target.value.id
+        # x += [...]
+        if (isinstance(node, ast.AugAssign)
+                and isinstance(node.target, ast.Name)):
+            return node.target.id
+        # x.append(...) etc.
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS
+                and isinstance(node.func.value, ast.Name)):
+            return node.func.value.id
+        return None
+
+
+#: Registered rules, in code order.
+DEFAULT_RULES: tuple[type, ...] = (
+    NoWallClockOrUnseededRandom,
+    NoUnorderedIteration,
+    NoFloatEquality,
+    GuardedTracerCalls,
+    NoSharedMutableState,
+)

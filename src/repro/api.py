@@ -26,7 +26,7 @@ in-process serial path with bit-identical results).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.records import RunResult
 from repro.core.runner import RunConfig, run_scheme
@@ -35,7 +35,7 @@ from repro.errors import ConfigurationError
 from repro.metrics.correctness import correctness as _correctness
 from repro.metrics.latency import percentile_latency
 from repro.metrics.throughput import sustainable_throughput
-from repro.obs.tracer import RunTracer, resolve_tracer
+from repro.obs.tracer import RunTracer, TraceFlag, resolve_tracer
 from repro.sweep import SweepExecutor
 
 # Ensure every built-in scheme is registered on import.
@@ -57,18 +57,18 @@ class RunSummary:
     result: RunResult = field(repr=False)
     workload: Workload = field(repr=False)
     #: Sustainable throughput in events/s (saturated runs).
-    throughput: Optional[float] = None
+    throughput: float | None = None
     #: Median steady-state window latency in seconds (paced runs).
     #: The median matches the paper's per-event processing-time metric
     #: more closely than the mean: a speculative window that waits for
     #: the next front buffer delays one result, not the typical event.
-    latency_s: Optional[float] = None
+    latency_s: float | None = None
     total_bytes: int = 0
     correctness: float = 0.0
     correction_steps: int = 0
     #: The run's :class:`~repro.obs.tracer.RunTracer` when tracing was
     #: requested (``trace=True``); ``None`` otherwise.
-    trace: Optional[RunTracer] = field(default=None, repr=False)
+    trace: RunTracer | None = field(default=None, repr=False)
 
     def __str__(self) -> str:
         parts = [f"{self.scheme}"]
@@ -112,8 +112,8 @@ def run(scheme: str, *, n_nodes: int = 2, window_size: int = 10_000,
         n_windows: int = 10, rate_per_node: float = 100_000.0,
         rate_change: float = 0.01, aggregate: str = "sum",
         mode: str = "throughput", seed: int = 0,
-        workload: Optional[Workload] = None,
-        trace: bool = False,
+        workload: Workload | None = None,
+        trace: TraceFlag = False,
         **config_kwargs) -> RunSummary:
     """Run one scheme and summarize its metrics.
 
@@ -148,8 +148,8 @@ def run(scheme: str, *, n_nodes: int = 2, window_size: int = 10_000,
 
 
 def compare(schemes: Sequence[str], *, seed: int = 0,
-            jobs: Optional[int] = None,
-            **kwargs) -> Dict[str, RunSummary]:
+            jobs: int | None = None,
+            **kwargs) -> dict[str, RunSummary]:
     """Run several schemes over the *same* workload.
 
     Returns a dict keyed by scheme name, in input order.  The runs are
@@ -165,8 +165,8 @@ def compare(schemes: Sequence[str], *, seed: int = 0,
 def compare_grid(schemes: Sequence[str],
                  points: Sequence[Mapping],
                  *, seed: int = 0, mode: str = "throughput",
-                 jobs: Optional[int] = None,
-                 **common) -> List[Dict[str, RunSummary]]:
+                 jobs: int | None = None,
+                 **common) -> list[dict[str, RunSummary]]:
     """Run a sweep: every scheme at every grid point, in parallel.
 
     ``points`` is a sequence of per-point :class:`RunConfig` overrides
@@ -184,8 +184,8 @@ def compare_grid(schemes: Sequence[str],
     points = [dict(p) for p in points]
     if not points:
         return []
-    configs: List[RunConfig] = []
-    modes: List[str] = []
+    configs: list[RunConfig] = []
+    modes: list[str] = []
     for point in points:
         merged = {**common, **point}
         point_mode = merged.pop("mode", mode)
@@ -194,10 +194,10 @@ def compare_grid(schemes: Sequence[str],
                                         seed=seed, **merged))
             modes.append(point_mode)
     pairs = SweepExecutor(jobs=jobs).run_with_workloads(configs)
-    out: List[Dict[str, RunSummary]] = []
-    it = zip(configs, modes, pairs)
-    for point in points:
-        summaries: Dict[str, RunSummary] = {}
+    out: list[dict[str, RunSummary]] = []
+    it = zip(configs, modes, pairs, strict=True)
+    for _point in points:
+        summaries: dict[str, RunSummary] = {}
         for scheme in schemes:
             config, run_mode, (result, workload) = next(it)
             summaries[scheme] = _summarize(config, run_mode, result,

@@ -11,7 +11,7 @@ window size, the final result is incorrect" (Fig. 10d).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Any
 
 from repro.baselines.central import CentralLocal, CentralRoot
 from repro.core.context import SchemeContext
@@ -94,7 +94,7 @@ class ApproxRoot(RootBehaviorBase):
         self.raw = [PositionBuffer() for _ in range(self.n_nodes)]
         self.reports = ReportCollector(self.n_nodes)
         #: Static per-node sizes, fixed after window 0.
-        self.static_sizes: Dict[int, int] = {}
+        self.static_sizes: dict[int, int] = {}
 
     def service_time(self, node: SimNode, msg: Message) -> float:
         if isinstance(msg, RawEvents) and self.static_sizes:

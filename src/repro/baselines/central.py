@@ -12,7 +12,7 @@ cost (buffer writes plus a cache-cold aggregation pass; Fig. 7a/9a).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any
 
 from repro.core.buffers import PositionBuffer
 from repro.core.context import SchemeContext

@@ -8,6 +8,8 @@ Subcommands:
 * ``experiment`` — regenerate one of the paper's figures.
 * ``trace`` — run one scheme with tracing and write the trace to disk
   (Chrome trace-event JSON for Perfetto, or JSONL).
+* ``lint`` — run deco-lint, the repo-specific static-analysis pass
+  (rules DL001-DL005; see :mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -15,14 +17,15 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
 
 from repro.api import ALL_SCHEMES, compare, run
 from repro.core.runner import available_schemes
 from repro.metrics.report import format_si, format_table
 
-#: Experiment name -> (headers, rows-callable(scale)).
-_EXPERIMENTS = {}
+#: Experiment name -> (headers, rows-callable(scale)).  Written once,
+#: lazily, by ``_register_experiments`` in the CLI process — never from
+#: sweep workers.
+_EXPERIMENTS = {}  # decolint: disable=DL005
 
 
 def _register_experiments():
@@ -132,6 +135,17 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--jobs", type=int, default=None,
                        help="worker processes for the sweep (default: "
                             "$REPRO_JOBS, then CPU count; 1 = serial)")
+
+    lint_p = sub.add_parser(
+        "lint", help="run deco-lint (rules DL001-DL005)")
+    lint_p.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories (default: src/repro)")
+    lint_p.add_argument("--select", default=None,
+                        help="comma-separated rule codes to run")
+    lint_p.add_argument("--report-only", action="store_true",
+                        help="print findings but always exit 0")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="list rules and exit")
     return parser
 
 
@@ -143,7 +157,7 @@ def _run_kwargs(args) -> dict:
                 min_delta=args.min_delta)
 
 
-def _summary_row(name: str, summary) -> List[str]:
+def _summary_row(name: str, summary) -> list[str]:
     metric = (format_si(summary.throughput, " ev/s")
               if summary.throughput is not None
               else f"{summary.latency_s * 1e3:.3f} ms")
@@ -152,8 +166,19 @@ def _summary_row(name: str, summary) -> List[str]:
             str(summary.correction_steps)]
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "lint":
+        from repro.analysis.lint import main as lint_main
+        lint_argv = list(args.paths)
+        if args.select:
+            lint_argv += ["--select", args.select]
+        if args.report_only:
+            lint_argv.append("--report-only")
+        if args.list_rules:
+            lint_argv.append("--list-rules")
+        return lint_main(lint_argv)
 
     if args.command == "schemes":
         import repro.baselines  # noqa: F401

@@ -10,7 +10,6 @@ memory argument, Sections 4.3.1-4.3.2).
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 from repro.errors import WindowError
 from repro.streams.batch import EventBatch
@@ -19,9 +18,9 @@ from repro.streams.batch import EventBatch
 class PositionBuffer:
     """Contiguous events of one stream, addressed by absolute position."""
 
-    def __init__(self, base: int = 0):
+    def __init__(self, base: int = 0) -> None:
         self._base = base  # absolute position of the first retained event
-        self._batches: List[EventBatch] = []
+        self._batches: list[EventBatch] = []
         self._length = 0
 
     # -- state --------------------------------------------------------------
@@ -103,7 +102,7 @@ class PositionBuffer:
                 f"range end {end} beyond available {self.end}")
         if end <= start:
             return EventBatch.empty()
-        parts: List[EventBatch] = []
+        parts: list[EventBatch] = []
         offset = self._base
         need_start, need_end = start, end
         for batch in self._batches:

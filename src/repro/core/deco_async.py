@@ -31,7 +31,8 @@ Deco_sync").
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+
+from typing import Any
 
 from repro.core.buffers import PositionBuffer
 from repro.core.context import SchemeContext
@@ -44,8 +45,10 @@ from repro.core.protocol import (CorrectionReport, CorrectionRequest,
                                  WindowAssignment)
 from repro.core.root import ReportCollector, RootBehaviorBase
 from repro.core.segments import SegmentStore
-from repro.core.slicing import AsyncLayout, async_layout, sync_layout
-from repro.core.verification import async_global_check
+from repro.core.slicing import (AsyncLayout, SyncLayout, async_layout,
+                                sync_layout)
+from repro.core.verification import (AsyncGlobalCheck,
+                                     async_global_check)
 from repro.obs import events as ev
 from repro.sim.node import SimNode
 
@@ -64,7 +67,7 @@ MAX_SPECULATION_AHEAD = 4
 class DecoAsyncLocal(LocalBehaviorBase):
     """Local node of Deco_async: speculate, never block."""
 
-    def __init__(self, index: int, ctx: SchemeContext):
+    def __init__(self, index: int, ctx: SchemeContext) -> None:
         super().__init__(index, ctx)
         self._forwarded = 0
         self._bootstrapping = True
@@ -72,17 +75,17 @@ class DecoAsyncLocal(LocalBehaviorBase):
         #: Parameters adopted from the root: (valid-from-window, l-hat,
         #: delta); None right after a rollback (the correction step's
         #: fresh assignment restarts speculation).
-        self._params: Optional[Tuple[int, int, int]] = None
+        self._params: tuple[int, int, int] | None = None
         #: Next speculative window index and its start position.
         self._next_window = SYNC_WINDOW
         self._position = -1
         #: The sync-style window-2 assignment, if pending.
-        self._sync_assignment = None
-        self._correction: Optional[Tuple[int, int, int]] = None
+        self._sync_assignment: tuple[int, int, SyncLayout] | None = None
+        self._correction: tuple[int, int, int] | None = None
         #: Whether the current speculative window's front buffer has
         #: already been shipped, and the layout frozen for that window.
         self._fb_sent = False
-        self._window_layout = None
+        self._window_layout: AsyncLayout | None = None
 
     # -- event arrival ---------------------------------------------------------
 
@@ -244,7 +247,7 @@ class DecoAsyncLocal(LocalBehaviorBase):
                       else self.buffer.get_range(end, end))
         epoch = self.epoch
 
-        def send(partial):
+        def send(partial: Any) -> None:
             self.send_up(node, CorrectionReport(
                 sender=node.name, window_index=window, epoch=epoch,
                 partial=partial, count=actual, last_event=last_event))
@@ -263,7 +266,7 @@ class DecoAsyncRoot(RootBehaviorBase):
     """Root of Deco_async: verify speculative windows, roll back on
     mispredictions (Algorithm 5)."""
 
-    def __init__(self, ctx: SchemeContext):
+    def __init__(self, ctx: SchemeContext) -> None:
         super().__init__(ctx)
         self.raw = [PositionBuffer() for _ in range(self.n_nodes)]
         self.reports = ReportCollector(self.n_nodes)
@@ -275,17 +278,17 @@ class DecoAsyncRoot(RootBehaviorBase):
             for _ in range(self.n_nodes)]
         self.epoch = 0
         #: Per-node raw coverage (the previous + current root buffers).
-        self.stores: Dict[int, SegmentStore] = {}
+        self.stores: dict[int, SegmentStore] = {}
         #: Sync-style assignment bookkeeping for window 2.
-        self._sync_assigned: Dict[int, Tuple[int, int, int]] = {}
-        self._correcting: Optional[int] = None
+        self._sync_assigned: dict[int, tuple[int, int, int]] = {}
+        self._correcting: int | None = None
         #: Highest window whose front buffer arrived, per node.
-        self._fb_seen: Dict[int, int] = {}
+        self._fb_seen: dict[int, int] = {}
         #: Once the sync assignment goes out, late bootstrap raw events
         #: are merely discarded (cheap), not aggregated.
         self._bootstrap_done = False
         #: The last Eq. 14-15 global check, for inspection/tests.
-        self.last_global_check = None
+        self.last_global_check: AsyncGlobalCheck | None = None
 
     # -- dispatch -------------------------------------------------------------
 
@@ -319,12 +322,12 @@ class DecoAsyncRoot(RootBehaviorBase):
             if msg.epoch < self.epoch:
                 return  # speculative report from before a rollback
             a = self.node_index(msg.sender)
-            if msg.window_index > SYNC_WINDOW:
+            if msg.window_index > SYNC_WINDOW \
+                    and msg.ebuffer is not None and len(msg.ebuffer):
                 # End-buffer events are usable the moment they arrive,
                 # whatever window they were speculated for.
-                if msg.ebuffer is not None and len(msg.ebuffer):
-                    self.stores[a].insert(
-                        msg.slice_start + msg.slice_count, msg.ebuffer)
+                self.stores[a].insert(
+                    msg.slice_start + msg.slice_count, msg.ebuffer)
             self.reports.add(msg.window_index, a, msg)
             self._progress(node)
         elif isinstance(msg, CorrectionReport):

@@ -15,7 +15,8 @@ three flows of latency per window and blocks both sides in between.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+
+from typing import Any
 
 from repro.core.context import SchemeContext
 from repro.core.local import LocalBehaviorBase
@@ -33,11 +34,11 @@ class DecoMonLocal(LocalBehaviorBase):
     #: assignment arrives; aggregation runs as a burst afterwards.
     INGEST_PROCESS_FACTOR = 0.35
 
-    def __init__(self, index: int, ctx: SchemeContext):
+    def __init__(self, index: int, ctx: SchemeContext) -> None:
         super().__init__(index, ctx)
         self._sent_initial_rate = False
         #: The pending assignment: (window, size, start) or None.
-        self._assignment: Optional[Tuple[int, int, int]] = None
+        self._assignment: tuple[int, int, int] | None = None
 
     def on_events(self, node: SimNode) -> None:
         if not self._sent_initial_rate:
@@ -67,7 +68,7 @@ class DecoMonLocal(LocalBehaviorBase):
             return  # wait for more events
         self._assignment = None
 
-        def send(partial):
+        def send(partial: Any) -> None:
             self.send_up(node, LocalWindowReport(
                 sender=node.name, window_index=window, epoch=0,
                 partial=partial, slice_count=size,
@@ -84,7 +85,7 @@ class DecoMonLocal(LocalBehaviorBase):
 class DecoMonRoot(RootBehaviorBase):
     """Root: collect rates, assign actual sizes, combine partials."""
 
-    def __init__(self, ctx: SchemeContext):
+    def __init__(self, ctx: SchemeContext) -> None:
         super().__init__(ctx)
         self.rates = ReportCollector(self.n_nodes)
         self.reports = ReportCollector(self.n_nodes)

@@ -19,7 +19,8 @@ variant on latency only.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+
+from typing import Any
 
 from repro.core.context import SchemeContext
 from repro.core.local import LocalBehaviorBase
@@ -38,14 +39,14 @@ class DecoMonLocalPeerLocal(LocalBehaviorBase):
     #: in.
     INGEST_PROCESS_FACTOR = 0.35
 
-    def __init__(self, index: int, ctx: SchemeContext):
+    def __init__(self, index: int, ctx: SchemeContext) -> None:
         super().__init__(index, ctx)
         self._window = 0
         self._position = 0
         self._started = False
         #: Peer rates for the current window, own rate included.
-        self._rates: Dict[int, float] = {}
-        self._pending_size: Optional[int] = None
+        self._rates: dict[int, float] = {}
+        self._pending_size: int | None = None
 
     # -- peer exchange (initialization step) -----------------------------------
 
@@ -101,7 +102,7 @@ class DecoMonLocalPeerLocal(LocalBehaviorBase):
         self._pending_size = None
         window = self._window
 
-        def send(partial):
+        def send(partial: Any) -> None:
             self.send_up(node, LocalWindowReport(
                 sender=node.name, window_index=window, epoch=0,
                 partial=partial, slice_count=size,
@@ -116,7 +117,7 @@ class DecoMonLocalPeerLocal(LocalBehaviorBase):
 class DecoMonLocalPeerRoot(RootBehaviorBase):
     """Root: combine partials and signal the next window."""
 
-    def __init__(self, ctx: SchemeContext):
+    def __init__(self, ctx: SchemeContext) -> None:
         super().__init__(ctx)
         self.reports = ReportCollector(self.n_nodes)
 

@@ -23,7 +23,9 @@ the first two actual local window sizes.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 from repro.core.buffers import PositionBuffer
 from repro.core.context import SchemeContext
@@ -38,6 +40,9 @@ from repro.core.slicing import SyncLayout, sync_layout
 from repro.core.verification import sync_prediction_ok
 from repro.obs import events as ev
 from repro.sim.node import SimNode
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Timeout
 
 #: Number of bootstrap windows collected centrally.
 BOOTSTRAP_WINDOWS = 2
@@ -55,18 +60,18 @@ class DecoSyncLocal(LocalBehaviorBase):
 
     INGEST_PROCESS_FACTOR = 0.35
 
-    def __init__(self, index: int, ctx: SchemeContext):
+    def __init__(self, index: int, ctx: SchemeContext) -> None:
         super().__init__(index, ctx)
         self._forwarded = 0
         self._bootstrapping = True
         #: Pending assignment: (window, start, layout) or None.
-        self._assignment: Optional[Tuple[int, int, SyncLayout]] = None
+        self._assignment: tuple[int, int, SyncLayout] | None = None
         #: Pending correction: (window, start, actual_size) or None.
-        self._correction: Optional[Tuple[int, int, int]] = None
+        self._correction: tuple[int, int, int] | None = None
         #: Failure model (Section 4.3.4): the last up-flow sent, kept
         #: for timeout-driven retransmission; (window, message).
-        self._last_sent = None
-        self._timeout = None
+        self._last_sent: Message | None = None
+        self._timeout: "Timeout | None" = None
 
     # -- failure model ---------------------------------------------------------
 
@@ -98,7 +103,7 @@ class DecoSyncLocal(LocalBehaviorBase):
         self.send_up(node, self._last_sent)
         self._arm_timeout(node)
 
-    def _send_report(self, node: SimNode, msg) -> None:
+    def _send_report(self, node: SimNode, msg: Message) -> None:
         self._last_sent = msg
         self.send_up(node, msg)
         self._arm_timeout(node)
@@ -182,7 +187,7 @@ class DecoSyncLocal(LocalBehaviorBase):
         first_ts = (self.buffer.get_range(start, start + 1).first_ts
                     if layout.total else -1)
 
-        def send(partial):
+        def send(partial: Any) -> None:
             self._send_report(node, LocalWindowReport(
                 sender=node.name, window_index=window, epoch=0,
                 partial=partial, slice_count=layout.slice_size,
@@ -206,7 +211,7 @@ class DecoSyncLocal(LocalBehaviorBase):
         last_event = (self.buffer.get_range(end - 1, end) if actual > 0
                       else self.buffer.get_range(end, end))
 
-        def send(partial):
+        def send(partial: Any) -> None:
             self._send_report(node, CorrectionReport(
                 sender=node.name, window_index=window, epoch=0,
                 partial=partial, count=actual, last_event=last_event))
@@ -217,7 +222,7 @@ class DecoSyncLocal(LocalBehaviorBase):
 class DecoSyncRoot(RootBehaviorBase):
     """Root of Deco_sync: bootstrap, predict, verify, correct."""
 
-    def __init__(self, ctx: SchemeContext):
+    def __init__(self, ctx: SchemeContext) -> None:
         super().__init__(ctx)
         self.raw = [PositionBuffer() for _ in range(self.n_nodes)]
         self.reports = ReportCollector(self.n_nodes)
@@ -228,19 +233,20 @@ class DecoSyncRoot(RootBehaviorBase):
                           min_delta=ctx.query.min_delta)
             for _ in range(self.n_nodes)]
         #: Prediction sent per window: {a: (start, predicted, delta)}.
-        self.assigned: Dict[int, Dict[int, Tuple[int, int, int]]] = {}
-        self._correcting: Optional[int] = None
+        self.assigned: dict[int, dict[int, tuple[int, int, int]]] = {}
+        self._correcting: int | None = None
         #: Once predictions start, late bootstrap raw events are merely
         #: discarded (cheap), not aggregated.
         self._bootstrap_done = False
         #: Failure model: re-broadcast hook while awaiting reports.
-        self._timeout = None
-        self._rebroadcast = None
-        self._timeout_node = None
+        self._timeout: "Timeout | None" = None
+        self._rebroadcast: Callable[[], None] | None = None
+        self._timeout_node: SimNode | None = None
 
     # -- failure model ----------------------------------------------------------
 
-    def _arm_timeout(self, node: SimNode, rebroadcast) -> None:
+    def _arm_timeout(self, node: SimNode,
+                     rebroadcast: Callable[[], None]) -> None:
         """Await reports; re-broadcast the last down-flow on timeout
         ("when the root does not receive messages from one of the local
         nodes... the root node then starts the correction step" — here
@@ -334,7 +340,7 @@ class DecoSyncRoot(RootBehaviorBase):
         self._bootstrap_done = True
         if g >= self.ctx.n_windows:
             return
-        assignment: Dict[int, Tuple[int, int, int]] = {}
+        assignment: dict[int, tuple[int, int, int]] = {}
         watermark = self.watermark.current
         for a in range(self.n_nodes):
             predicted, delta = self.predictors[a].predict()
@@ -346,7 +352,7 @@ class DecoSyncRoot(RootBehaviorBase):
             tracer.event(ev.STATE, node.sim.now, node.name,
                          transition="predict", window=g)
 
-        def broadcast():
+        def broadcast() -> None:
             self.broadcast(node, lambda a: WindowAssignment(
                 sender="root", window_index=g, epoch=0,
                 predicted_size=assignment[a][1],
@@ -408,7 +414,7 @@ class DecoSyncRoot(RootBehaviorBase):
                          transition="correction_start", window=window)
             tracer.inc("corrections", node.name)
 
-        def broadcast():
+        def broadcast() -> None:
             self.broadcast(node, lambda a: CorrectionRequest(
                 sender="root", window_index=window, epoch=0,
                 actual_size=spans[a][1] - spans[a][0],

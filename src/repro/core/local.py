@@ -10,7 +10,8 @@ state machines.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from collections.abc import Callable
+from typing import Any
 
 from repro.core.buffers import PositionBuffer
 from repro.core.context import SchemeContext
@@ -42,7 +43,7 @@ class LocalBehaviorBase:
     #: backpressure signal.
     BACKPRESSURE_WINDOWS = 8
 
-    def __init__(self, index: int, ctx: SchemeContext):
+    def __init__(self, index: int, ctx: SchemeContext) -> None:
         self.index = index
         self.ctx = ctx
         self.query = ctx.query
@@ -52,8 +53,8 @@ class LocalBehaviorBase:
         # Rate measurement state: events and first/last timestamps since
         # the previous rate report (Section 4.3.3).
         self._rate_mark_count = 0
-        self._rate_mark_ts: Optional[int] = None
-        self._last_event_ts: Optional[int] = None
+        self._rate_mark_ts: int | None = None
+        self._last_event_ts: int | None = None
         self._last_rate = 0.0
 
     # -- Behaviour protocol -------------------------------------------------
@@ -157,7 +158,7 @@ class LocalBehaviorBase:
         return self.fn.lift(self.buffer.get_range(start, end))
 
     def aggregate_then(self, node: SimNode, start: int, end: int,
-                       then) -> None:
+                       then: Callable[[Any], None]) -> None:
         """Aggregate ``[start, end)`` as a CPU burst, then call
         ``then(partial)`` when the burst completes.
 

@@ -19,7 +19,7 @@ ablation benchmarks.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Tuple
+from typing import Deque
 
 from repro.errors import ConfigurationError
 
@@ -42,7 +42,7 @@ class DeltaSmoother:
     buffer never fully vanishes.
     """
 
-    def __init__(self, m: int = 1, min_delta: int = 0):
+    def __init__(self, m: int = 1, min_delta: int = 0) -> None:
         if m < 1:
             raise ConfigurationError(f"m must be >= 1, got {m}")
         if min_delta < 0:
@@ -73,9 +73,9 @@ class LastValuePredictor:
 
     name = "last-value"
 
-    def __init__(self, m: int = 1, min_delta: int = 0):
+    def __init__(self, m: int = 1, min_delta: int = 0) -> None:
         self._smoother = DeltaSmoother(m, min_delta)
-        self._history: List[int] = []
+        self._history: list[int] = []
 
     def observe(self, actual_size: int) -> None:
         """Record the actual size of a completed window."""
@@ -96,7 +96,7 @@ class LastValuePredictor:
         initialization requirement)."""
         return len(self._history) >= 2
 
-    def predict(self) -> Tuple[int, int]:
+    def predict(self) -> tuple[int, int]:
         """The ``(predicted size, delta)`` pair for the next window."""
         if not self._history:
             raise ConfigurationError("predict() before any observation")
@@ -108,7 +108,7 @@ class MovingAveragePredictor(LastValuePredictor):
 
     name = "moving-average"
 
-    def __init__(self, k: int = 4, m: int = 1, min_delta: int = 0):
+    def __init__(self, k: int = 4, m: int = 1, min_delta: int = 0) -> None:
         super().__init__(m, min_delta)
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
@@ -118,7 +118,7 @@ class MovingAveragePredictor(LastValuePredictor):
         super().observe(actual_size)
         self._window.append(actual_size)
 
-    def predict(self) -> Tuple[int, int]:
+    def predict(self) -> tuple[int, int]:
         if not self._window:
             raise ConfigurationError("predict() before any observation")
         mean = int(sum(self._window) / len(self._window) + 0.5)
@@ -130,7 +130,7 @@ class LinearTrendPredictor(LastValuePredictor):
 
     name = "linear-trend"
 
-    def __init__(self, m: int = 1, min_delta: int = 0):
+    def __init__(self, m: int = 1, min_delta: int = 0) -> None:
         super().__init__(m, min_delta)
         self._last_two: Deque[int] = deque(maxlen=2)
 
@@ -138,7 +138,7 @@ class LinearTrendPredictor(LastValuePredictor):
         super().observe(actual_size)
         self._last_two.append(actual_size)
 
-    def predict(self) -> Tuple[int, int]:
+    def predict(self) -> tuple[int, int]:
         if not self._last_two:
             raise ConfigurationError("predict() before any observation")
         if len(self._last_two) == 1:

@@ -13,7 +13,8 @@ everything except the Disco baseline, which uses strings).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from collections.abc import Callable
+from typing import Any
 
 from repro.sim.serialization import WireFormat, message_size
 from repro.streams.batch import EventBatch
@@ -83,8 +84,8 @@ class LocalWindowReport(Message):
     slice_count: int
     event_rate: float
     buffer: EventBatch = field(default_factory=EventBatch.empty)
-    fbuffer: Optional[EventBatch] = None
-    ebuffer: Optional[EventBatch] = None
+    fbuffer: EventBatch | None = None
+    ebuffer: EventBatch | None = None
     #: Absolute position in the sender's stream where this window's
     #: coverage starts (the speculative start for Deco_async).
     spec_start: int = -1
@@ -171,7 +172,7 @@ class StartWindow(Message):
     watermark: int = -1
 
 
-def _batch_len(batch: Optional[EventBatch]) -> int:
+def _batch_len(batch: EventBatch | None) -> int:
     return 0 if batch is None else len(batch)
 
 
@@ -208,7 +209,8 @@ def sizeof_message(msg: Message,
     raise TypeError(f"unknown message type {type(msg).__name__}")
 
 
-def make_sizer(fmt: WireFormat = WireFormat.BINARY):
+def make_sizer(
+        fmt: WireFormat = WireFormat.BINARY) -> Callable[[Any], int]:
     """A ``msg -> bytes`` sizer bound to one wire format."""
     return lambda msg: sizeof_message(msg, fmt)
 

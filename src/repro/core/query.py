@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+
+from typing import Any
 
 from repro.aggregates.base import AggregateFunction
 from repro.aggregates.registry import get_aggregate
@@ -30,12 +31,12 @@ class Query:
     """
 
     window: WindowSpec
-    aggregate: Union[str, AggregateFunction] = "sum"
+    aggregate: str | AggregateFunction = "sum"
     delta_m: int = 1
     min_delta: int = 0
     predictor: str = "last-value"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.window.validate()
         if isinstance(self.aggregate, str):
             self.aggregate = get_aggregate(self.aggregate)
@@ -65,8 +66,9 @@ class Query:
         return self.aggregate.is_decomposable
 
 
-def tumbling_count_query(window_size: int, aggregate="sum",
-                         **kwargs) -> Query:
+def tumbling_count_query(
+        window_size: int, aggregate: str | AggregateFunction = "sum",
+        **kwargs: Any) -> Query:
     """Convenience constructor for the evaluation's standard query."""
     return Query(window=TumblingCountWindow(window_size),
                  aggregate=aggregate, **kwargs)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -18,7 +17,7 @@ class WindowOutcome:
     index: int
     result: float
     emit_time: float
-    spans: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    spans: dict[int, tuple[int, int]] = field(default_factory=dict)
     corrected: bool = False
     #: Up/down communication flows this window consumed (Section 3's
     #: flow terminology; a flow is one direction of root<->locals
@@ -39,7 +38,7 @@ class RunResult:
     scheme: str
     n_nodes: int
     window_size: int
-    outcomes: List[WindowOutcome] = field(default_factory=list)
+    outcomes: list[WindowOutcome] = field(default_factory=list)
     correction_steps: int = 0
     #: Verification failures observed (== correction_steps for the Deco
     #: schemes; 0 for baselines).
@@ -53,7 +52,7 @@ class RunResult:
     bytes_peer: int = 0
     messages: int = 0
     #: CPU-busy seconds per node name.
-    node_busy_s: Dict[str, float] = field(default_factory=dict)
+    node_busy_s: dict[str, float] = field(default_factory=dict)
     #: Events recomputed after mispredictions (Deco_async rollbacks).
     recomputed_events: int = 0
     #: Sustained bytes/s on the root's ingress NIC (line utilization x
@@ -69,7 +68,7 @@ class RunResult:
         return self.bytes_up + self.bytes_down + self.bytes_peer
 
     @property
-    def results(self) -> List[float]:
+    def results(self) -> list[float]:
         """Window results in emission order of window index."""
         return [o.result
                 for o in sorted(self.outcomes, key=lambda o: o.index)]
@@ -79,7 +78,7 @@ class RunResult:
         """Number of emitted windows."""
         return len(self.outcomes)
 
-    def outcome(self, index: int) -> Optional[WindowOutcome]:
+    def outcome(self, index: int) -> WindowOutcome | None:
         """The outcome of window ``index``, if emitted."""
         for o in self.outcomes:
             if o.index == index:

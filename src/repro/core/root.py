@@ -10,7 +10,8 @@ it with their coordination logic.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
+from typing import Any
 
 from repro.core.context import SchemeContext
 from repro.core.protocol import (CorrectionReport, LocalWindowReport,
@@ -34,7 +35,7 @@ class RootBehaviorBase:
     #: incremental systems).
     EMIT_BURST_FACTOR = 0.0
 
-    def __init__(self, ctx: SchemeContext):
+    def __init__(self, ctx: SchemeContext) -> None:
         self.ctx = ctx
         self.workload = ctx.workload
         self.query = ctx.query
@@ -84,13 +85,13 @@ class RootBehaviorBase:
         """Local node index from a message's sender name."""
         return int(sender.rsplit("-", 1)[1])
 
-    def actual_spans(self, window: int) -> Dict[int, Tuple[int, int]]:
+    def actual_spans(self, window: int) -> dict[int, tuple[int, int]]:
         """Ground-truth per-node spans of one global window."""
         return {a: self.workload.span(window, a)
                 for a in range(self.n_nodes)}
 
     def ingest_positioned_raw(self, node: SimNode, msg: RawEvents,
-                              store) -> bool:
+                              store: PositionBuffer) -> bool:
         """Append position-tagged raw events into ``store``.
 
         Detects gaps left by dropped messages (failure model): on a
@@ -113,7 +114,7 @@ class RootBehaviorBase:
         return True
 
     def broadcast(self, node: SimNode,
-                  make_msg: Callable[[int], Optional[Message]]) -> None:
+                  make_msg: Callable[[int], Message | None]) -> None:
         """Send ``make_msg(a)`` to every local node (one down-flow)."""
         for a in range(self.n_nodes):
             msg = make_msg(a)
@@ -121,9 +122,9 @@ class RootBehaviorBase:
                 node.send(local_name(a), msg)
 
     def emit(self, node: SimNode, window: int, value: float,
-             spans: Dict[int, Tuple[int, int]], *, corrected: bool = False,
+             spans: dict[int, tuple[int, int]], *, corrected: bool = False,
              up_flows: int = 1, down_flows: int = 0,
-             after: Optional[Callable[[], None]] = None) -> None:
+             after: Callable[[], None] | None = None) -> None:
         """Finalize one global window.
 
         Occupies the root CPU for the emission burst (per
@@ -159,7 +160,7 @@ class RootBehaviorBase:
                          up_flows=up_flows, down_flows=down_flows)
             tracer.inc("windows_emitted", node.name)
 
-        def finish():
+        def finish() -> None:
             if after is not None:
                 after()
             if self.next_emit >= self.ctx.n_windows:
@@ -174,9 +175,9 @@ class RootBehaviorBase:
 class ReportCollector:
     """Collects one message per local node per window index."""
 
-    def __init__(self, n_nodes: int):
+    def __init__(self, n_nodes: int) -> None:
         self.n_nodes = n_nodes
-        self._by_window: Dict[int, Dict[int, Message]] = {}
+        self._by_window: dict[int, dict[int, Message]] = {}
 
     def add(self, window: int, node_index: int, msg: Message) -> None:
         """Store a node's report for a window (latest wins)."""
@@ -186,11 +187,11 @@ class ReportCollector:
         """Whether every node has reported for ``window``."""
         return len(self._by_window.get(window, {})) == self.n_nodes
 
-    def get(self, window: int) -> Dict[int, Message]:
+    def get(self, window: int) -> dict[int, Message]:
         """All reports of one window, by node index."""
         return self._by_window.get(window, {})
 
-    def pop(self, window: int) -> Dict[int, Message]:
+    def pop(self, window: int) -> dict[int, Message]:
         """Remove and return one window's reports."""
         return self._by_window.pop(window, {})
 

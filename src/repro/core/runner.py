@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Tuple, Type
+from collections.abc import Callable
 
 from repro.core.context import SchemeContext
 from repro.core.protocol import SourceBatch, make_sizer
@@ -25,11 +25,13 @@ from repro.core.records import RunResult
 from repro.core.workload import Workload, WorkloadSpec, default_cache
 from repro.errors import ConfigurationError, SimulationError
 from repro.obs.tracer import NULL_TRACER, RunTracer
+from repro.sim.kernel import PHASE_SOURCE, Simulator
 from repro.sim.network import DEFAULT_LATENCY_S, ETHERNET_25G
-from repro.sim.node import INTEL_XEON, NodeProfile
+from repro.sim.node import INTEL_XEON, NodeProfile, SimNode
 from repro.sim.serialization import WireFormat
 from repro.sim.topology import ROOT_NAME, StarTopology, build_star, \
     local_name
+from repro.streams.batch import EventBatch
 from repro.streams.event import ticks_to_seconds
 
 
@@ -38,18 +40,20 @@ class SchemeSpec:
     """How to instantiate one scheme's behaviours."""
 
     name: str
-    root_cls: Type
-    local_cls: Type
+    root_cls: type
+    local_cls: type
     fmt: WireFormat = WireFormat.BINARY
     #: Optional transform applied to node profiles (e.g. Disco's
     #: single-thread restriction).
-    profile_transform: Optional[Callable[[NodeProfile],
-                                         NodeProfile]] = None
+    profile_transform: Callable[[NodeProfile],
+                                         NodeProfile] | None = None
     #: Whether the scheme needs a local-to-local mesh (Deco_monlocal).
     needs_peer_mesh: bool = False
 
 
-_SCHEMES: Dict[str, SchemeSpec] = {}
+# Import-time registry: schemes register when their package imports;
+# run code only reads it, so workers cannot diverge.
+_SCHEMES: dict[str, SchemeSpec] = {}  # decolint: disable=DL005
 
 
 def register_scheme(spec: SchemeSpec) -> SchemeSpec:
@@ -61,12 +65,12 @@ def register_scheme(spec: SchemeSpec) -> SchemeSpec:
     return spec
 
 
-def available_schemes():
+def available_schemes() -> list[str]:
     """Names of all registered schemes."""
     return sorted(_SCHEMES)
 
 
-def _central_classes():
+def _central_classes() -> tuple[type, type]:
     """The Central behaviours (imported lazily: baselines depend on
     core)."""
     from repro.baselines.central import CentralLocal, CentralRoot
@@ -86,7 +90,8 @@ def get_scheme(name: str) -> SchemeSpec:
         return _SCHEMES[name]
     except KeyError:
         raise ConfigurationError(
-            f"unknown scheme {name!r}; known: {sorted(_SCHEMES)}")
+            f"unknown scheme {name!r}; "
+            f"known: {sorted(_SCHEMES)}") from None
 
 
 @dataclass
@@ -116,19 +121,26 @@ class RunConfig:
     latency: float = DEFAULT_LATENCY_S
     #: Source injection batch size (events); default ~1/16 of the mean
     #: local window so batching granularity stays below buffer sizes.
-    batch_size: Optional[int] = None
+    batch_size: int | None = None
     #: Extra stream length factor beyond the measured windows (None =
     #: auto).  Raise for workloads where a scheme drifts far past the
     #: last boundary (Approx at large rate changes).
-    margin: Optional[float] = None
+    margin: float | None = None
     #: Retransmission timeout for the Section 4.3.4 failure model;
     #: None disables timeouts (reliable fabric).
-    retransmit_timeout_s: Optional[float] = None
+    retransmit_timeout_s: float | None = None
     #: Record a structured trace of this run (see :mod:`repro.obs`).
     #: A plain bool so configs stay picklable — parallel sweep workers
     #: build their own tracer and ship back a summary.  Not part of
     #: :meth:`workload_key`: tracing never changes the workload.
     trace: bool = False
+    #: Determinism contract: permutes the kernel's same-time event
+    #: ordering (see :class:`~repro.sim.kernel.Simulator`).  Results
+    #: MUST be bit-identical for every salt; the schedule-determinism
+    #: harness (:mod:`repro.analysis.determinism`) runs configs under
+    #: permuted salts and fails on any divergence.  Not part of
+    #: :meth:`workload_key`: the workload is generated off-simulator.
+    tiebreak_salt: int = 0
 
     def workload_key(self) -> WorkloadSpec:
         """The generation-parameter tuple of this run's workload.
@@ -160,9 +172,9 @@ class RunConfig:
 
 
 def build_run(config: RunConfig,
-              workload: Optional[Workload] = None,
-              tracer: Optional[RunTracer] = None
-              ) -> Tuple[StarTopology, SchemeContext]:
+              workload: Workload | None = None,
+              tracer: RunTracer | None = None
+              ) -> tuple[StarTopology, SchemeContext]:
     """Construct the topology + context for a config (without running).
 
     ``tracer`` overrides ``config.trace``: pass an existing
@@ -201,7 +213,8 @@ def build_run(config: RunConfig,
         root_profile=root_profile, local_profile=local_profile,
         bandwidth=config.bandwidth, latency=config.latency,
         root_behavior=spec.root_cls(ctx),
-        local_behavior_factory=lambda i: spec.local_cls(i, ctx))
+        local_behavior_factory=lambda i: spec.local_cls(i, ctx),
+        tiebreak_salt=config.tiebreak_salt)
     if spec.needs_peer_mesh:
         from repro.sim.topology import peer_mesh
         peer_mesh(topo)
@@ -242,7 +255,8 @@ def inject_sources(topo: StarTopology, ctx: SchemeContext,
                     start, min(start + batch_size, limit))
                 msg = SourceBatch(sender=f"source-{i}", events=batch)
                 sim.schedule_at(ticks_to_seconds(batch.last_ts),
-                                lambda n=node, m=msg: n.deliver(m))
+                                lambda n=node, m=msg: n.deliver(m),
+                                phase=PHASE_SOURCE)
 
 
 class _SourceFeeder:
@@ -255,8 +269,9 @@ class _SourceFeeder:
     behind an unbounded input queue.
     """
 
-    def __init__(self, sim, node, stream, limit: int, batch_size: int,
-                 sender: str):
+    def __init__(self, sim: Simulator, node: SimNode,
+                 stream: EventBatch, limit: int, batch_size: int,
+                 sender: str) -> None:
         self._sim = sim
         self._node = node
         self._stream = stream
@@ -266,7 +281,7 @@ class _SourceFeeder:
         self._pos = 0
 
     def start(self) -> None:
-        self._sim.schedule_at(0.0, self._feed)
+        self._sim.schedule_at(0.0, self._feed, phase=PHASE_SOURCE)
 
     #: Backpressure polling interval (simulated seconds).
     RETRY_S = 50e-6
@@ -280,15 +295,20 @@ class _SourceFeeder:
                 and behavior.input_paused()):
             # Bounded node memory: hold the input until the protocol
             # releases verified events.
-            self._sim.schedule(self.RETRY_S, self._feed)
+            self._sim.schedule(self.RETRY_S, self._feed,
+                               phase=PHASE_SOURCE)
             return
         end = min(self._pos + self._batch_size, self._limit)
         batch = self._stream.slice_range(self._pos, end)
         self._pos = end
         node.deliver(SourceBatch(sender=self._sender, events=batch))
         # The node's CPU frees exactly when this batch's handler ran;
-        # feed the next batch then.
-        self._sim.schedule_at(node.cpu_free_at, self._feed)
+        # feed the next batch then.  PHASE_SOURCE pins this feed after
+        # every same-instant protocol event (handler completions,
+        # sends), so the CPU-allocation order at that instant — and
+        # with it all downstream timing — is salt-invariant.
+        self._sim.schedule_at(node.cpu_free_at, self._feed,
+                              phase=PHASE_SOURCE)
 
 
 def collect(topo: StarTopology, ctx: SchemeContext) -> RunResult:
@@ -332,9 +352,9 @@ def run_simulation(topo: StarTopology, ctx: SchemeContext,
 
 
 def run_scheme(config: RunConfig,
-               workload: Optional[Workload] = None,
-               tracer: Optional[RunTracer] = None,
-               ) -> Tuple[RunResult, Workload]:
+               workload: Workload | None = None,
+               tracer: RunTracer | None = None,
+               ) -> tuple[RunResult, Workload]:
     """Run one scheme over one workload; returns result + workload.
 
     Tracing (``config.trace`` or an explicit ``tracer``) records into

@@ -13,7 +13,6 @@ buffer once it arrives.
 from __future__ import annotations
 
 import bisect
-from typing import List, Tuple
 
 from repro.errors import WindowError
 from repro.streams.batch import EventBatch
@@ -22,11 +21,11 @@ from repro.streams.batch import EventBatch
 class SegmentStore:
     """Raw event runs at absolute positions, possibly with gaps."""
 
-    def __init__(self, base: int = 0):
+    def __init__(self, base: int = 0) -> None:
         #: Positions before base have been verified and released.
         self._base = base
-        self._starts: List[int] = []
-        self._batches: List[EventBatch] = []
+        self._starts: list[int] = []
+        self._batches: list[EventBatch] = []
 
     @property
     def base(self) -> int:

@@ -25,6 +25,7 @@ changes.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from typing import NamedTuple
 
 from repro.errors import ConfigurationError
@@ -92,7 +93,8 @@ def sync_covers(layout: SyncLayout, predicted: int, delta: int) -> bool:
             and layout.total >= predicted + delta)
 
 
-def mon_local_sizes(rates, global_window: int):
+def mon_local_sizes(rates: Sequence[float],
+                    global_window: int) -> list[int]:
     """Section 4.1 split: local window sizes proportional to event rates.
 
     ``l_a = f_a / f_root * l_global``, with the rounding remainder

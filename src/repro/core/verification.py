@@ -19,7 +19,8 @@ summarize (the root has the per-node actual sizes, Section 4.3.2).
 
 from __future__ import annotations
 
-from typing import NamedTuple, Sequence
+from collections.abc import Sequence
+from typing import NamedTuple
 
 from repro.core.slicing import AsyncLayout, SyncLayout
 
@@ -41,7 +42,8 @@ def sync_all_ok(actuals: Sequence[int], predicted: Sequence[int],
                 deltas: Sequence[int]) -> bool:
     """Algorithm 3 line 4: every node's prediction must hold."""
     return all(sync_prediction_ok(a, p, d)
-               for a, p, d in zip(actuals, predicted, deltas))
+               for a, p, d in zip(actuals, predicted, deltas,
+                                  strict=True))
 
 
 class AsyncGlobalCheck(NamedTuple):

@@ -26,7 +26,8 @@ import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -36,12 +37,15 @@ from repro.streams.event import TICKS_PER_SECOND, ticks_to_seconds
 from repro.streams.generator import RateChangeGenerator
 from repro.streams.merge import merge_batches
 
+if TYPE_CHECKING:
+    from repro.aggregates.base import AggregateFunction
+
 
 @dataclass
 class Workload:
     """Per-node input streams and their ground-truth window geometry."""
 
-    streams: List[EventBatch]
+    streams: list[EventBatch]
     window_size: int
     n_windows: int
     #: Cumulative per-node boundary table, shape
@@ -72,7 +76,7 @@ class Workload:
         return (self.bounds[window + 1] - self.bounds[window]).astype(
             np.int64)
 
-    def span(self, window: int, node: int) -> Tuple[int, int]:
+    def span(self, window: int, node: int) -> tuple[int, int]:
         """Ground-truth ``[start, end)`` span in the node's stream."""
         return (int(self.bounds[window, node]),
                 int(self.bounds[window + 1, node]))
@@ -83,7 +87,8 @@ class Workload:
                  for a in range(self.n_nodes)]
         return EventBatch.concat(parts).sorted_by_ts()
 
-    def reference_result(self, aggregate) -> List[float]:
+    def reference_result(self,
+                         aggregate: "AggregateFunction") -> list[float]:
         """Ground-truth (Central) result of every global window."""
         return [aggregate.aggregate(self.window_events(g))
                 for g in range(self.n_windows)]
@@ -94,7 +99,7 @@ class Workload:
 
 
 def build_workload(streams: Sequence[EventBatch], window_size: int,
-                   n_windows: Optional[int] = None) -> Workload:
+                   n_windows: int | None = None) -> Workload:
     """Assemble a :class:`Workload` from concrete per-node streams.
 
     Streams should extend a few windows *past* the last measured
@@ -133,9 +138,9 @@ def generate_workload(n_nodes: int, window_size: int, n_windows: int, *,
                       rate_per_node: float = 100_000.0,
                       rate_change: float = 0.01,
                       epoch_seconds: float = 1.0,
-                      seed: int = 0, margin: Optional[float] = None,
-                      value_sources: Optional[Sequence] = None,
-                      rates: Optional[Sequence[float]] = None,
+                      seed: int = 0, margin: float | None = None,
+                      value_sources: Sequence | None = None,
+                      rates: Sequence[float] | None = None,
                       streams_per_node: int = 1) -> Workload:
     """Generate the evaluation's standard workload.
 
@@ -229,9 +234,9 @@ class WorkloadSpec:
     rate_change: float = 0.01
     epoch_seconds: float = 1.0
     seed: int = 0
-    margin: Optional[float] = None
+    margin: float | None = None
     streams_per_node: int = 1
-    rates: Optional[Tuple[float, ...]] = None
+    rates: tuple[float, ...] | None = None
 
     def key(self) -> str:
         """Stable content hash of the parameter tuple."""
@@ -307,8 +312,8 @@ class WorkloadCache:
     """
 
     def __init__(self, capacity: int = 8,
-                 spill_dir: Optional[Path] = None,
-                 spill: bool = True):
+                 spill_dir: Path | None = None,
+                 spill: bool = True) -> None:
         if capacity < 1:
             raise ConfigurationError(
                 f"cache capacity must be >= 1, got {capacity}")
@@ -374,7 +379,7 @@ class WorkloadCache:
                 file.unlink(missing_ok=True)
 
 
-_DEFAULT_CACHE: Optional[WorkloadCache] = None
+_DEFAULT_CACHE: WorkloadCache | None = None
 
 
 def default_cache() -> WorkloadCache:

@@ -10,7 +10,7 @@ scale, smaller values run the same code in milliseconds for tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 #: Schemes in the paper's comparison order.
 END_TO_END_SCHEMES = ("central", "scotty", "disco", "deco_async")
@@ -43,6 +43,6 @@ def scaled(base_window: int, base_windows: int, rate: float,
                            rate_per_node=rate)
 
 
-def common_kwargs() -> Dict:
+def common_kwargs() -> dict:
     """Query/prediction parameters shared by all experiments."""
     return {"delta_m": DELTA_M, "min_delta": MIN_DELTA}

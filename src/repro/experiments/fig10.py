@@ -17,7 +17,7 @@ computing a sum over a tumbling count window.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.api import RunSummary, compare_grid
 from repro.experiments.config import (ADAPTIVITY_SCHEMES, common_kwargs,
@@ -32,7 +32,7 @@ WINDOW_SIZES = (2_000, 5_000, 10_000, 20_000, 50_000, 100_000)
 EPOCH_SECONDS = 0.05
 
 
-def _common(scale: float) -> Dict:
+def _common(scale: float) -> dict:
     s = scaled(base_window=20_000, base_windows=50, rate=50_000.0,
                scale=scale)
     kwargs = common_kwargs()
@@ -44,8 +44,8 @@ def _common(scale: float) -> Dict:
 
 def run_rate_change_sweep(scale: float = 1.0, seed: int = 0,
                           changes: Sequence[float] = RATE_CHANGES,
-                          jobs: Optional[int] = None
-                          ) -> Dict[float, Dict[str, RunSummary]]:
+                          jobs: int | None = None
+                          ) -> dict[float, dict[str, RunSummary]]:
     """Figs. 10a-10d: one saturated run per scheme per change value.
 
     The whole (change x scheme) grid fans out over one sweep executor.
@@ -54,21 +54,21 @@ def run_rate_change_sweep(scale: float = 1.0, seed: int = 0,
     grids = compare_grid(list(ADAPTIVITY_SCHEMES), points,
                          mode="throughput", seed=seed, jobs=jobs,
                          **_common(scale))
-    return dict(zip(changes, grids))
+    return dict(zip(changes, grids, strict=True))
 
 
 def run_window_size_sweep(scale: float = 1.0, rate_change: float = 0.01,
                           seed: int = 0,
                           sizes: Sequence[int] = WINDOW_SIZES,
-                          jobs: Optional[int] = None
-                          ) -> Dict[int, Dict[str, RunSummary]]:
+                          jobs: int | None = None
+                          ) -> dict[int, dict[str, RunSummary]]:
     """Figs. 10e-10f: sweep the global window size."""
     points = [dict(window_size=max(512, int(size * scale)))
               for size in sizes]
     grids = compare_grid(list(ADAPTIVITY_SCHEMES), points,
                          rate_change=rate_change, mode="throughput",
                          seed=seed, jobs=jobs, **_common(scale))
-    return dict(zip(sizes, grids))
+    return dict(zip(sizes, grids, strict=True))
 
 
 def _per100(summary: RunSummary) -> float:
@@ -76,21 +76,21 @@ def _per100(summary: RunSummary) -> float:
     return 100.0 * summary.correction_steps / measurable
 
 
-def rows_fig10a(data) -> List[List]:
+def rows_fig10a(data) -> list[list]:
     """Rows: change, throughput per scheme (events/s)."""
     return [[f"{change * 100:g}%"]
             + [f"{data[change][s].throughput:,.0f}"
                for s in ADAPTIVITY_SCHEMES] for change in data]
 
 
-def rows_fig10b(data) -> List[List]:
+def rows_fig10b(data) -> list[list]:
     """Rows: change, network bytes per scheme."""
     return [[f"{change * 100:g}%"]
             + [f"{data[change][s].total_bytes:,}"
                for s in ADAPTIVITY_SCHEMES] for change in data]
 
 
-def rows_fig10c(data) -> List[List]:
+def rows_fig10c(data) -> list[list]:
     """Rows: change, correction steps per 100 windows (sync/async)."""
     return [[f"{change * 100:g}%",
              f"{_per100(data[change]['deco_sync']):.0f}",
@@ -98,20 +98,20 @@ def rows_fig10c(data) -> List[List]:
             for change in data]
 
 
-def rows_fig10d(data) -> List[List]:
+def rows_fig10d(data) -> list[list]:
     """Rows: change, correctness per scheme (fraction)."""
     return [[f"{change * 100:g}%"]
             + [f"{data[change][s].correctness:.4f}"
                for s in ADAPTIVITY_SCHEMES] for change in data]
 
 
-def rows_fig10e(data) -> List[List]:
+def rows_fig10e(data) -> list[list]:
     """Rows: window size, throughput per scheme (events/s)."""
     return [[size] + [f"{data[size][s].throughput:,.0f}"
                       for s in ADAPTIVITY_SCHEMES] for size in data]
 
 
-def rows_fig10f(data) -> List[List]:
+def rows_fig10f(data) -> list[list]:
     """Rows: window size, correctness per scheme (fraction)."""
     return [[size] + [f"{data[size][s].correctness:.4f}"
                       for s in ADAPTIVITY_SCHEMES] for size in data]

@@ -9,7 +9,7 @@ lowest latency and still scales linearly with added Pis.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.api import RunSummary, compare, compare_grid
 from repro.experiments.config import (END_TO_END_SCHEMES, common_kwargs,
@@ -23,7 +23,7 @@ N_LOCAL_NODES = 4
 PI_COUNTS = (1, 2, 4, 8)
 
 
-def _rpi_kwargs(scale: float) -> Dict:
+def _rpi_kwargs(scale: float) -> dict:
     s = scaled(base_window=40_000, base_windows=30, rate=20_000.0,
                scale=scale)
     kwargs = common_kwargs()
@@ -36,8 +36,8 @@ def _rpi_kwargs(scale: float) -> Dict:
 
 
 def run_fig11_throughput(scale: float = 1.0, seed: int = 0,
-                         jobs: Optional[int] = None
-                         ) -> Dict[str, RunSummary]:
+                         jobs: int | None = None
+                         ) -> dict[str, RunSummary]:
     """Fig. 11a: throughput on the Pi cluster."""
     return compare(list(END_TO_END_SCHEMES), n_nodes=N_LOCAL_NODES,
                    mode="throughput", seed=seed, jobs=jobs,
@@ -45,8 +45,8 @@ def run_fig11_throughput(scale: float = 1.0, seed: int = 0,
 
 
 def run_fig11_latency(scale: float = 1.0, seed: int = 0,
-                      jobs: Optional[int] = None
-                      ) -> Dict[str, RunSummary]:
+                      jobs: int | None = None
+                      ) -> dict[str, RunSummary]:
     """Fig. 11b/11c: network bandwidth and latency on the Pi cluster."""
     return compare(list(END_TO_END_SCHEMES), n_nodes=N_LOCAL_NODES,
                    mode="latency", seed=seed, jobs=jobs,
@@ -55,8 +55,8 @@ def run_fig11_latency(scale: float = 1.0, seed: int = 0,
 
 def run_fig11_scalability(scale: float = 1.0, seed: int = 0,
                           counts: Sequence[int] = PI_COUNTS,
-                          jobs: Optional[int] = None
-                          ) -> Dict[int, Dict[str, RunSummary]]:
+                          jobs: int | None = None
+                          ) -> dict[int, dict[str, RunSummary]]:
     """Fig. 11d: throughput as Raspberry Pis are added."""
     kwargs = _rpi_kwargs(scale)
     base_window = kwargs.pop("window_size")
@@ -65,17 +65,17 @@ def run_fig11_scalability(scale: float = 1.0, seed: int = 0,
     grids = compare_grid(list(END_TO_END_SCHEMES), points,
                          mode="throughput", seed=seed, jobs=jobs,
                          **kwargs)
-    return dict(zip(counts, grids))
+    return dict(zip(counts, grids, strict=True))
 
 
-def rows_fig11a(scale: float = 1.0) -> List[List]:
+def rows_fig11a(scale: float = 1.0) -> list[list]:
     """Rows: approach, Pi-cluster throughput (events/s)."""
     summaries = run_fig11_throughput(scale)
     return [[name, f"{s.throughput:,.0f}"]
             for name, s in summaries.items()]
 
 
-def rows_fig11bc(scale: float = 1.0) -> List[List]:
+def rows_fig11bc(scale: float = 1.0) -> list[list]:
     """Rows: approach, saturated bandwidth (MB/s), latency (ms).
 
     Bandwidth comes from the saturated run — the paper's point is that
@@ -92,7 +92,7 @@ def rows_fig11bc(scale: float = 1.0) -> List[List]:
     return rows
 
 
-def rows_fig11d(scale: float = 1.0) -> List[List]:
+def rows_fig11d(scale: float = 1.0) -> list[list]:
     """Rows: Pi count, throughput per approach (events/s)."""
     data = run_fig11_scalability(scale)
     return [[n] + [f"{data[n][s].throughput:,.0f}"

@@ -9,7 +9,6 @@ highest (~100x) because it aggregates non-incrementally at window end.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
 
 from repro.api import RunSummary, compare
 from repro.experiments.config import (END_TO_END_SCHEMES, common_kwargs,
@@ -20,7 +19,7 @@ RATE_CHANGE = 0.01
 
 
 def run_fig7a(scale: float = 1.0, seed: int = 0,
-              jobs: Optional[int] = None) -> Dict[str, RunSummary]:
+              jobs: int | None = None) -> dict[str, RunSummary]:
     """Fig. 7a: end-to-end sustainable throughput per approach."""
     s = scaled(base_window=80_000, base_windows=40, rate=50_000.0,
                scale=scale)
@@ -32,7 +31,7 @@ def run_fig7a(scale: float = 1.0, seed: int = 0,
 
 
 def run_fig7b(scale: float = 1.0, seed: int = 0,
-              jobs: Optional[int] = None) -> Dict[str, RunSummary]:
+              jobs: int | None = None) -> dict[str, RunSummary]:
     """Fig. 7b: end-to-end latency per approach."""
     s = scaled(base_window=80_000, base_windows=30, rate=50_000.0,
                scale=scale)
@@ -43,7 +42,7 @@ def run_fig7b(scale: float = 1.0, seed: int = 0,
                    seed=seed, jobs=jobs, **common_kwargs())
 
 
-def rows_fig7a(scale: float = 1.0) -> List[List]:
+def rows_fig7a(scale: float = 1.0) -> list[list]:
     """Table rows: approach, throughput (ev/s), speedup over Scotty."""
     summaries = run_fig7a(scale)
     scotty = summaries["scotty"].throughput
@@ -52,7 +51,7 @@ def rows_fig7a(scale: float = 1.0) -> List[List]:
             for name, s in summaries.items()]
 
 
-def rows_fig7b(scale: float = 1.0) -> List[List]:
+def rows_fig7b(scale: float = 1.0) -> list[list]:
     """Table rows: approach, mean latency (ms), vs Deco_async."""
     summaries = run_fig7b(scale)
     deco = summaries["deco_async"].latency_s

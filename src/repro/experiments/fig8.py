@@ -10,7 +10,6 @@ events and saves up to 99% of the network; Disco's string encoding costs
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
 
 from repro.api import RunSummary, compare, compare_grid
 from repro.experiments.config import common_kwargs, scaled
@@ -22,7 +21,7 @@ NODE_COUNTS = (1, 2, 4, 8)
 
 
 def run_fig8a(scale: float = 1.0, seed: int = 0,
-              jobs: Optional[int] = None) -> Dict[str, RunSummary]:
+              jobs: int | None = None) -> dict[str, RunSummary]:
     """Fig. 8a: bytes moved in a 1-local-node cluster."""
     s = scaled(base_window=40_000, base_windows=40, rate=50_000.0,
                scale=scale)
@@ -35,8 +34,8 @@ def run_fig8a(scale: float = 1.0, seed: int = 0,
 
 
 def run_fig8b(scale: float = 1.0, seed: int = 0,
-              jobs: Optional[int] = None
-              ) -> Dict[int, Dict[str, RunSummary]]:
+              jobs: int | None = None
+              ) -> dict[int, dict[str, RunSummary]]:
     """Fig. 8b: bytes moved as local nodes grow 1 -> 8.
 
     The per-node event count stays fixed (the paper fixes 100M events
@@ -52,10 +51,10 @@ def run_fig8b(scale: float = 1.0, seed: int = 0,
         list(SCHEMES), points, n_windows=s.n_windows,
         rate_per_node=s.rate_per_node, rate_change=RATE_CHANGE,
         mode="latency", seed=seed, jobs=jobs, **common_kwargs())
-    return dict(zip(NODE_COUNTS, grids))
+    return dict(zip(NODE_COUNTS, grids, strict=True))
 
 
-def rows_fig8a(scale: float = 1.0) -> List[List]:
+def rows_fig8a(scale: float = 1.0) -> list[list]:
     """Rows: approach, total bytes, saving vs Central."""
     summaries = run_fig8a(scale)
     central = summaries["central"]
@@ -64,7 +63,7 @@ def rows_fig8a(scale: float = 1.0) -> List[List]:
             for name, s in summaries.items()]
 
 
-def rows_fig8b(scale: float = 1.0) -> List[List]:
+def rows_fig8b(scale: float = 1.0) -> list[list]:
     """Rows: node count then bytes per approach."""
     data = run_fig8b(scale)
     rows = []

@@ -10,7 +10,6 @@ Deco_async grows slowly with node count, the others are constant.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
 
 from repro.api import RunSummary, compare_grid
 from repro.experiments.config import (END_TO_END_SCHEMES, common_kwargs,
@@ -22,8 +21,8 @@ NODE_COUNTS = (1, 2, 4, 8, 16, 32)
 
 def run_fig9(scale: float = 1.0, mode: str = "throughput",
              node_counts=NODE_COUNTS, seed: int = 0,
-             jobs: Optional[int] = None
-             ) -> Dict[int, Dict[str, RunSummary]]:
+             jobs: int | None = None
+             ) -> dict[int, dict[str, RunSummary]]:
     """Fig. 9a (throughput) / 9b (latency) sweeps over node count.
 
     All (node count x scheme) runs are independent and fan out over one
@@ -38,10 +37,10 @@ def run_fig9(scale: float = 1.0, mode: str = "throughput",
         list(END_TO_END_SCHEMES), points, n_windows=s.n_windows,
         rate_per_node=s.rate_per_node, rate_change=RATE_CHANGE,
         mode=mode, seed=seed, jobs=jobs, **common_kwargs())
-    return dict(zip(node_counts, grids))
+    return dict(zip(node_counts, grids, strict=True))
 
 
-def rows_fig9a(scale: float = 1.0, node_counts=NODE_COUNTS) -> List[List]:
+def rows_fig9a(scale: float = 1.0, node_counts=NODE_COUNTS) -> list[list]:
     """Rows: node count, throughput per approach (events/s)."""
     data = run_fig9(scale, "throughput", node_counts)
     return [[n] + [f"{data[n][s].throughput:,.0f}"
@@ -49,7 +48,7 @@ def rows_fig9a(scale: float = 1.0, node_counts=NODE_COUNTS) -> List[List]:
             for n in data]
 
 
-def rows_fig9b(scale: float = 1.0, node_counts=NODE_COUNTS) -> List[List]:
+def rows_fig9b(scale: float = 1.0, node_counts=NODE_COUNTS) -> list[list]:
     """Rows: node count, mean latency per approach (ms)."""
     data = run_fig9(scale, "latency", node_counts)
     return [[n] + [f"{data[n][s].latency_s * 1e3:.3f}"

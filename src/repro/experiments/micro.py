@@ -9,7 +9,6 @@ dominates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
 
 from repro.api import RunSummary, compare
 from repro.experiments.config import common_kwargs, scaled
@@ -19,7 +18,7 @@ N_LOCAL_NODES = 32
 
 def run_micro(scale: float = 1.0, n_nodes: int = N_LOCAL_NODES,
               seed: int = 0,
-              jobs: Optional[int] = None) -> Dict[str, RunSummary]:
+              jobs: int | None = None) -> dict[str, RunSummary]:
     """Deco_mon vs Deco_monlocal on a 32-local cluster.
 
     The paper reports per-window coordination latency under load; we
@@ -42,7 +41,7 @@ def cycle_ms(summary: RunSummary) -> float:
 
 
 def rows_micro(scale: float = 1.0,
-               n_nodes: int = N_LOCAL_NODES) -> List[List]:
+               n_nodes: int = N_LOCAL_NODES) -> list[list]:
     """Rows: approach, window cycle (ms), slowdown vs Deco_mon."""
     summaries = run_micro(scale, n_nodes)
     mon = cycle_ms(summaries["deco_mon"])

@@ -10,7 +10,6 @@ scheme actually aggregated versus the ground-truth boundary table.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.core.records import RunResult
 from repro.core.workload import Workload
@@ -41,14 +40,14 @@ def correctness(result: RunResult, workload: Workload) -> float:
 
 
 def per_window_correctness(result: RunResult,
-                           workload: Workload) -> List[float]:
+                           workload: Workload) -> list[float]:
     """Per-window correct-event fractions (drift visualisation)."""
     size = workload.window_size
     return [window_overlap(result, workload, g) / size
             for g in range(workload.n_windows)]
 
 
-def results_match(result: RunResult, reference: List[float],
+def results_match(result: RunResult, reference: list[float],
                   rel_tol: float = 1e-9) -> bool:
     """Whether every emitted aggregate equals the reference value."""
     import math
@@ -58,4 +57,4 @@ def results_match(result: RunResult, reference: List[float],
     return all(
         math.isclose(v, r, rel_tol=rel_tol, abs_tol=1e-9)
         or (math.isnan(v) and math.isnan(r))
-        for v, r in zip(values, reference))
+        for v, r in zip(values, reference, strict=True))

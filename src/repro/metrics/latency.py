@@ -16,7 +16,6 @@ latency measurement batching-independent and identical across schemes.
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 

@@ -6,9 +6,9 @@ helpers keep the output consistent and machine-greppable.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Union
+from collections.abc import Iterable, Sequence
 
-Cell = Union[str, int, float]
+Cell = str | int | float
 
 
 def format_si(value: float, unit: str = "") -> str:
@@ -22,7 +22,7 @@ def format_si(value: float, unit: str = "") -> str:
 def format_table(headers: Sequence[str],
                  rows: Iterable[Sequence[Cell]]) -> str:
     """Render an aligned text table."""
-    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    str_rows: list[list[str]] = [[_fmt(c) for c in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):

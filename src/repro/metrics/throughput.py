@@ -11,14 +11,13 @@ rate.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 from repro.core.records import RunResult
 from repro.errors import ConfigurationError
 
 
 def sustainable_throughput(result: RunResult,
-                           skip: Optional[int] = None) -> float:
+                           skip: int | None = None) -> float:
     """End-to-end sustainable throughput in events/second.
 
     Events of the steady-state windows divided by the (simulated) time
@@ -77,7 +76,7 @@ def bottleneck_throughput(result: RunResult) -> float:
     return result.n_windows * result.window_size / busiest
 
 
-def per_node_utilization(result: RunResult) -> Dict[str, float]:
+def per_node_utilization(result: RunResult) -> dict[str, float]:
     """Fraction of the makespan each node's CPU was busy."""
     if result.sim_time <= 0:
         return {name: 0.0 for name in result.node_busy_s}

@@ -28,7 +28,7 @@ from repro.obs.exporters import (event_to_dict, summary_table,
 from repro.obs.summary import (TraceSummary, format_summary,
                                merge_summaries)
 from repro.obs.tracer import (GLOBAL_SCOPE, NULL_TRACER, NullTracer,
-                              RunTracer, resolve_tracer)
+                              RunTracer, TraceFlag, resolve_tracer)
 
 __all__ = [
     "ALL_KINDS", "CPU", "MSG_DELAY", "MSG_DROP", "MSG_RECV",
@@ -36,5 +36,5 @@ __all__ = [
     "TraceEvent", "event_to_dict", "summary_table", "to_chrome_trace",
     "write_chrome_trace", "write_jsonl", "TraceSummary",
     "format_summary", "merge_summaries", "GLOBAL_SCOPE", "NULL_TRACER",
-    "NullTracer", "RunTracer", "resolve_tracer",
+    "NullTracer", "RunTracer", "TraceFlag", "resolve_tracer",
 ]

@@ -34,7 +34,7 @@ Kinds
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any
 
 MSG_SEND = "msg_send"
 MSG_RECV = "msg_recv"
@@ -65,4 +65,4 @@ class TraceEvent:
     time: float
     node: str
     dur: float = 0.0
-    data: Dict[str, Any] = field(default_factory=dict)
+    data: dict[str, Any] = field(default_factory=dict)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any
 
 from repro.obs.events import CPU, QUEUE, TraceEvent
 from repro.obs.tracer import RunTracer
@@ -31,13 +31,13 @@ def _json_safe(value: Any) -> Any:
     return str(value)
 
 
-def _safe_args(data: Dict[str, Any]) -> Dict[str, Any]:
+def _safe_args(data: dict[str, Any]) -> dict[str, Any]:
     return {key: _json_safe(value) for key, value in data.items()}
 
 
 # -- JSONL --------------------------------------------------------------------
 
-def event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+def event_to_dict(event: TraceEvent) -> dict[str, Any]:
     """One event as a flat JSON-ready dict."""
     out = {"kind": event.kind, "t": event.time, "node": event.node}
     if event.dur:
@@ -46,7 +46,7 @@ def event_to_dict(event: TraceEvent) -> Dict[str, Any]:
     return out
 
 
-def write_jsonl(path: Union[str, Path], tracer: RunTracer) -> int:
+def write_jsonl(path: str | Path, tracer: RunTracer) -> int:
     """Write one JSON object per event; returns the event count."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -59,21 +59,21 @@ def write_jsonl(path: Union[str, Path], tracer: RunTracer) -> int:
 
 # -- Chrome trace-event format ------------------------------------------------
 
-def to_chrome_trace(tracer: RunTracer) -> Dict[str, Any]:
+def to_chrome_trace(tracer: RunTracer) -> dict[str, Any]:
     """The run as a Chrome trace-event JSON object.
 
     ``traceEvents`` is sorted by timestamp (then thread), so every
     per-node track is monotone; metadata naming events lead the list.
     """
     tids = {name: i for i, name in enumerate(tracer.nodes())}
-    meta: List[Dict[str, Any]] = [
+    meta: list[dict[str, Any]] = [
         {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
          "args": {"name": str(tracer.meta.get("scheme", "repro run"))}},
     ]
     for name, tid in tids.items():
         meta.append({"name": "thread_name", "ph": "M", "pid": 0,
                      "tid": tid, "args": {"name": name}})
-    events: List[Dict[str, Any]] = []
+    events: list[dict[str, Any]] = []
     for event in tracer.events:
         base = {"pid": 0, "tid": tids[event.node], "cat": event.kind,
                 "ts": event.time * 1e6}
@@ -98,7 +98,7 @@ def to_chrome_trace(tracer: RunTracer) -> Dict[str, Any]:
                           for key, value in tracer.meta.items()}}
 
 
-def write_chrome_trace(path: Union[str, Path],
+def write_chrome_trace(path: str | Path,
                        tracer: RunTracer) -> Path:
     """Write the Chrome trace JSON for Perfetto; returns the path."""
     path = Path(path)

@@ -10,7 +10,7 @@ which is what lets a sweep present one fleet-wide view.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from collections.abc import Iterable
 
 from repro.obs.events import ALL_KINDS
 from repro.obs.tracer import RunTracer
@@ -23,9 +23,9 @@ class TraceSummary:
     scheme: str = ""
     runs: int = 1
     events: int = 0
-    by_kind: Dict[str, int] = field(default_factory=dict)
-    counters: Dict[Tuple[str, str], float] = field(default_factory=dict)
-    gauge_max: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    by_kind: dict[str, int] = field(default_factory=dict)
+    counters: dict[tuple[str, str], float] = field(default_factory=dict)
+    gauge_max: dict[tuple[str, str], float] = field(default_factory=dict)
 
     @classmethod
     def from_tracer(cls, tracer: RunTracer,
@@ -59,13 +59,13 @@ class TraceSummary:
 
 
 def merge_summaries(
-        summaries: Iterable[Optional[TraceSummary]]
-) -> Optional[TraceSummary]:
+        summaries: Iterable[TraceSummary | None]
+) -> TraceSummary | None:
     """Merge a sweep's per-worker summaries (ignoring untraced runs).
 
     Returns ``None`` when nothing was traced.
     """
-    merged: Optional[TraceSummary] = None
+    merged: TraceSummary | None = None
     for summary in summaries:
         if summary is None:
             continue

@@ -19,13 +19,13 @@ Chrome counter tracks) is derived at export time, off the hot path.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
+from repro.errors import ConfigurationError
 from repro.obs.events import TraceEvent
 
 #: Scope used for run-global counters.
 GLOBAL_SCOPE = ""
-
 
 class NullTracer:
     """The zero-overhead default tracer: records nothing.
@@ -68,11 +68,11 @@ class RunTracer:
     enabled = True
 
     def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
-        self.counters: Dict[Tuple[str, str], float] = {}
-        self.gauges: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        self.events: list[TraceEvent] = []
+        self.counters: dict[tuple[str, str], float] = {}
+        self.gauges: dict[tuple[str, str], tuple[float, float]] = {}
         #: Run identification filled by the runner (scheme, seed, ...).
-        self.meta: Dict[str, Any] = {}
+        self.meta: dict[str, Any] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -95,9 +95,9 @@ class RunTracer:
 
     # -- inspection --------------------------------------------------------
 
-    def counts_by_kind(self) -> Dict[str, int]:
+    def counts_by_kind(self) -> dict[str, int]:
         """Event totals per kind, for summaries and assertions."""
-        out: Dict[str, int] = {}
+        out: dict[str, int] = {}
         for event in self.events:
             out[event.kind] = out.get(event.kind, 0) + 1
         return out
@@ -106,31 +106,49 @@ class RunTracer:
         """One counter's value (0 when never incremented)."""
         return self.counters.get((name, scope), 0)
 
-    def counters_named(self, name: str) -> Dict[str, float]:
+    def counters_named(self, name: str) -> dict[str, float]:
         """All scopes of one counter name, as ``scope -> value``."""
         return {scope: value for (n, scope), value
                 in self.counters.items() if n == name}
 
-    def nodes(self) -> List[str]:
+    def nodes(self) -> list[str]:
         """Node names that recorded at least one event (sorted, root
         first)."""
         names = {event.node for event in self.events}
         return sorted(names, key=lambda n: (n != "root", n))
 
-    def events_of(self, kind: str) -> List[TraceEvent]:
+    def events_of(self, kind: str) -> list[TraceEvent]:
         """All events of one kind, in record order."""
         return [event for event in self.events if event.kind == kind]
 
 
-def resolve_tracer(trace: Any) -> Optional[RunTracer]:
-    """Normalize a user-facing ``trace`` argument.
+#: The values a user-facing ``trace`` argument may take: the two
+#: literal booleans, ``None`` (same as ``False``), or an existing
+#: :class:`RunTracer` to collect into.  Anything else — including
+#: truthy stand-ins like ``1`` or ``"yes"`` — is a configuration error,
+#: never silently "tracing off".
+TraceFlag = bool | None | RunTracer
+
+
+def resolve_tracer(trace: TraceFlag) -> RunTracer | None:
+    """Normalize a user-facing ``trace`` argument (see :data:`TraceFlag`).
 
     ``False``/``None`` -> ``None`` (meaning: use the null tracer);
     ``True`` -> a fresh :class:`RunTracer`; a tracer instance passes
     through.
+
+    Raises:
+        ConfigurationError: for any other value.  Truthy non-``True``
+            values used to be silently treated as "tracing off", which
+            turned typos like ``trace=1`` into missing traces instead
+            of errors.
     """
-    if not trace:
+    if trace is None or trace is False:
         return None
     if trace is True:
         return RunTracer()
-    return trace
+    if isinstance(trace, RunTracer):
+        return trace
+    raise ConfigurationError(
+        f"trace must be True, False, None, or a RunTracer; "
+        f"got {trace!r} ({type(trace).__name__})")

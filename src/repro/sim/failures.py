@@ -9,7 +9,7 @@ so the failure-handling paths of the schemes can be exercised.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Set, Tuple
+from typing import Any
 
 import numpy as np
 
@@ -30,8 +30,8 @@ class MessageFaultInjector:
 
     def __init__(self, topo: StarTopology, *, drop_probability: float = 0.0,
                  delay_probability: float = 0.0, delay_s: float = 0.0,
-                 pairs: Optional[Set[Tuple[str, str]]] = None,
-                 seed: int = 0):
+                 pairs: set[tuple[str, str]] | None = None,
+                 seed: int = 0) -> None:
         if not 0.0 <= drop_probability <= 1.0:
             raise ConfigurationError(
                 f"drop_probability must be in [0, 1], got "

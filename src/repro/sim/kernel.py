@@ -10,22 +10,54 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, List, Optional, Tuple
+from collections.abc import Callable
+from typing import Any
 
 from repro.errors import SimulationError
 from repro.obs.tracer import NULL_TRACER
 
 
+#: Scheduling phases: all same-time events of a lower phase run before
+#: any event of a higher phase.  Protocol/simulation events (handler
+#: completions, timers, behaviour callbacks) use
+#: :data:`PHASE_PROTOCOL`; network *deliveries* use
+#: :data:`PHASE_DELIVER` (a message arriving at the very instant a
+#: handler completes queues after it); workload *injection* (source
+#: feeders, paced arrivals) uses :data:`PHASE_SOURCE`.  Together with
+#: the ``rank`` key these pin every cross-domain same-time ordering by
+#: design instead of by heap-insertion accident — the tie-break salt
+#: permutes equal-time order only *within* a (phase, rank) class.
+PHASE_PROTOCOL = 0
+PHASE_DELIVER = 1
+PHASE_SOURCE = 2
+
+
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "_sim")
+    __slots__ = ("time", "seq", "phase", "rank", "sort_seq", "callback",
+                 "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int,
                  callback: Callable[[], None],
-                 sim: Optional["Simulator"] = None):
+                 sim: "Simulator | None" = None,
+                 sort_seq: int | None = None,
+                 phase: int = PHASE_PROTOCOL,
+                 rank: tuple[str, ...] = ()) -> None:
         self.time = time
         self.seq = seq
+        self.phase = phase
+        #: Canonical same-(time, phase) ordering key.  Events carrying
+        #: a rank run after unranked ones and sort by the rank itself
+        #: (e.g. network sends by ``(src, dst)``), making their mutual
+        #: order — and everything downstream of shared-resource
+        #: contention — independent of insertion order.
+        self.rank = rank
+        #: Tie-break rank among equal-(time, phase) events.  Equals
+        #: ``seq`` normally; a :class:`Simulator` with a nonzero
+        #: ``tiebreak_salt`` permutes it (see the determinism contract
+        #: in :mod:`repro.analysis.determinism`).
+        self.sort_seq = seq if sort_seq is None else sort_seq
         self.callback = callback
         self.cancelled = False
         self._sim = sim
@@ -44,7 +76,8 @@ class ScheduledEvent:
                 self._sim._live -= 1
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return ((self.time, self.phase, self.rank, self.sort_seq)
+                < (other.time, other.phase, other.rank, other.sort_seq))
 
 
 class Simulator:
@@ -52,11 +85,23 @@ class Simulator:
 
     Time is in seconds (float).  Determinism: events at equal times run
     in scheduling order.
+
+    ``tiebreak_salt`` is part of the determinism *contract*: a nonzero
+    salt deterministically permutes the execution order of equal-time
+    events (by XOR-ing the insertion sequence number used as the heap
+    tie-break).  Simulation results must be invariant under the salt —
+    any divergence means a component depends on incidental same-time
+    ordering, which :mod:`repro.analysis.determinism` turns into a test
+    failure instead of a silent reproducibility hazard.
     """
 
-    def __init__(self):
+    def __init__(self, tiebreak_salt: int = 0) -> None:
+        if tiebreak_salt < 0:
+            raise SimulationError(
+                f"tiebreak_salt must be >= 0, got {tiebreak_salt}")
+        self.tiebreak_salt = tiebreak_salt
         self._now = 0.0
-        self._queue: List[ScheduledEvent] = []
+        self._queue: list[ScheduledEvent] = []
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -76,22 +121,34 @@ class Simulator:
         """Current simulation time in seconds."""
         return self._now
 
-    def schedule(self, delay: float,
-                 callback: Callable[[], None]) -> ScheduledEvent:
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 phase: int = PHASE_PROTOCOL,
+                 rank: tuple[str, ...] = ()) -> ScheduledEvent:
         """Run ``callback`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        return self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback, phase=phase,
+                                rank=rank)
 
-    def schedule_at(self, time: float,
-                    callback: Callable[[], None]) -> ScheduledEvent:
-        """Run ``callback`` at absolute simulation ``time``."""
+    def schedule_at(self, time: float, callback: Callable[[], None],
+                    phase: int = PHASE_PROTOCOL,
+                    rank: tuple[str, ...] = ()) -> ScheduledEvent:
+        """Run ``callback`` at absolute simulation ``time``.
+
+        ``phase`` orders same-time events across scheduling domains
+        (see :data:`PHASE_PROTOCOL` / :data:`PHASE_DELIVER` /
+        :data:`PHASE_SOURCE`); ``rank`` canonically orders same-phase
+        events that contend for a shared resource.  The tie-break salt
+        only permutes within an equal (time, phase, rank) class.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} < now {self._now}")
         if not math.isfinite(time):
             raise SimulationError(f"non-finite schedule time {time}")
-        event = ScheduledEvent(time, self._seq, callback, self)
+        event = ScheduledEvent(time, self._seq, callback, self,
+                               sort_seq=self._seq ^ self.tiebreak_salt,
+                               phase=phase, rank=rank)
         self._seq += 1
         heapq.heappush(self._queue, event)
         self._live += 1
@@ -101,8 +158,8 @@ class Simulator:
         """Stop the run loop after the current callback returns."""
         self._stopped = True
 
-    def run(self, until: Optional[float] = None,
-            max_events: Optional[int] = None) -> float:
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> float:
         """Execute events until the queue drains, ``until`` is reached,
         or ``max_events`` callbacks have run.  Returns the final time."""
         if self._running:
@@ -159,10 +216,10 @@ class Timeout:
     nodes a timer they can arm, re-arm, and cancel.
     """
 
-    def __init__(self, sim: Simulator, callback: Callable[[], None]):
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
         self._sim = sim
         self._callback = callback
-        self._handle: Optional[ScheduledEvent] = None
+        self._handle: ScheduledEvent | None = None
 
     @property
     def armed(self) -> bool:

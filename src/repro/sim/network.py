@@ -9,11 +9,12 @@ from the per-link byte counters collected here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from collections.abc import Callable
+from typing import Any
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.obs import events as ev
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import PHASE_DELIVER, Simulator
 from repro.sim.node import SimNode
 
 #: 25 Gbit/s Ethernet of the paper's Intel cluster.
@@ -39,7 +40,7 @@ class Link:
     """A directed FIFO link between two nodes."""
 
     def __init__(self, sim: Simulator, bandwidth_bytes_per_s: float,
-                 latency_s: float):
+                 latency_s: float) -> None:
         if bandwidth_bytes_per_s <= 0:
             raise ConfigurationError(
                 f"bandwidth must be > 0, got {bandwidth_bytes_per_s}")
@@ -101,24 +102,24 @@ class Network:
     def __init__(self, sim: Simulator,
                  sizer: Callable[[Any], int],
                  default_bandwidth: float = ETHERNET_25G,
-                 default_latency: float = DEFAULT_LATENCY_S):
+                 default_latency: float = DEFAULT_LATENCY_S) -> None:
         self.sim = sim
         self.sizer = sizer
         self.default_bandwidth = default_bandwidth
         self.default_latency = default_latency
-        self._nodes: Dict[str, SimNode] = {}
-        self._links: Dict[Tuple[str, str], Link] = {}
-        self._egress: Dict[str, Link] = {}
-        self._ingress: Dict[str, Link] = {}
+        self._nodes: dict[str, SimNode] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._egress: dict[str, Link] = {}
+        self._ingress: dict[str, Link] = {}
         #: Optional fault hook: (src, dst, msg, size) -> True to drop.
-        self.drop_filter: Optional[Callable[..., bool]] = None
+        self.drop_filter: Callable[..., bool] | None = None
         #: Optional fault hook: (src, dst, msg) -> extra delay seconds.
-        self.delay_fn: Optional[Callable[..., float]] = None
+        self.delay_fn: Callable[..., float] | None = None
 
     # -- topology -----------------------------------------------------------
 
     def attach(self, node: SimNode,
-               nic_bandwidth: Optional[float] = None) -> SimNode:
+               nic_bandwidth: float | None = None) -> SimNode:
         """Register a node with the fabric and provision its NIC."""
         if node.name in self._nodes:
             raise ConfigurationError(f"duplicate node name {node.name!r}")
@@ -136,16 +137,18 @@ class Network:
         try:
             return links[name]
         except KeyError:
-            raise ConfigurationError(f"unknown node {name!r}")
+            raise ConfigurationError(
+                f"unknown node {name!r}") from None
 
     def node(self, name: str) -> SimNode:
         """Look up a node by name."""
         try:
             return self._nodes[name]
         except KeyError:
-            raise ConfigurationError(f"unknown node {name!r}")
+            raise ConfigurationError(
+                f"unknown node {name!r}") from None
 
-    def nodes(self) -> Dict[str, SimNode]:
+    def nodes(self) -> dict[str, SimNode]:
         """All attached nodes by name."""
         return dict(self._nodes)
 
@@ -158,8 +161,8 @@ class Network:
             del self._links[key]
 
     def connect(self, src: str, dst: str,
-                bandwidth: Optional[float] = None,
-                latency: Optional[float] = None,
+                bandwidth: float | None = None,
+                latency: float | None = None,
                 duplex: bool = True) -> None:
         """Create a link (by default both directions)."""
         for a, b in ((src, dst), (dst, src)) if duplex else ((src, dst),):
@@ -174,7 +177,8 @@ class Network:
         try:
             return self._links[(src, dst)]
         except KeyError:
-            raise ConfigurationError(f"no link {src!r} -> {dst!r}")
+            raise ConfigurationError(
+                f"no link {src!r} -> {dst!r}") from None
 
     # -- traffic ---------------------------------------------------------------
 
@@ -212,9 +216,11 @@ class Network:
                              msg=type(msg).__name__, extra_s=extra)
                 tracer.inc("messages_delayed", src)
 
-        def deliver():
+        def deliver() -> None:
             if extra > 0:
-                self.sim.schedule(extra, lambda: dst_node.deliver(msg))
+                self.sim.schedule(extra, lambda: dst_node.deliver(msg),
+                                  phase=PHASE_DELIVER,
+                                  rank=(dst, src))
             else:
                 dst_node.deliver(msg)
 
@@ -228,11 +234,15 @@ class Network:
         egress_start = egress_done - size / self._egress[src].bandwidth
         arrival = self._ingress[dst].reserve(
             size, not_before=egress_start + link.latency)
-        self.sim.schedule_at(arrival, deliver)
+        # PHASE_DELIVER: an arrival coinciding with a handler
+        # completion queues for the CPU after it, deterministically;
+        # the rank pins arrivals to *different* nodes at one instant.
+        self.sim.schedule_at(arrival, deliver, phase=PHASE_DELIVER,
+                             rank=(dst, src))
 
     # -- accounting --------------------------------------------------------------
 
-    def links(self) -> Dict[Tuple[str, str], Link]:
+    def links(self) -> dict[tuple[str, str], Link]:
         """All directed links keyed by ``(src, dst)`` (a copy)."""
         return dict(self._links)
 

@@ -11,7 +11,8 @@ uses a single thread" (Section 5.1) — by scaling effective service time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Optional, Protocol
+from collections.abc import Callable
+from typing import Any, Deque, Protocol
 
 from repro.errors import SimulationError
 from repro.obs import events as ev
@@ -97,7 +98,7 @@ class SimNode:
     """A cluster node: single-server CPU queue plus a behaviour."""
 
     def __init__(self, sim: Simulator, name: str, profile: NodeProfile,
-                 behavior: Optional[Behavior] = None):
+                 behavior: Behavior | None = None) -> None:
         self.sim = sim
         self.name = name
         self.profile = profile
@@ -223,8 +224,12 @@ class SimNode:
             raise SimulationError(f"node {self.name} is not attached")
         done = self.occupy(self.profile.message_overhead_s, label="send")
         if done > self.sim.now:
+            # The (src, dst) rank makes same-instant sends from
+            # different nodes reserve the receiver's NIC in canonical
+            # order — a salt-invariant contention outcome.
             self.sim.schedule_at(
-                done, lambda: self.network.send(self.name, dst, msg))
+                done, lambda: self.network.send(self.name, dst, msg),
+                rank=(self.name, dst))
         else:
             self.network.send(self.name, dst, msg)
 

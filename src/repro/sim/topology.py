@@ -10,7 +10,8 @@ two testbeds (Intel Xeon cluster with 25 GbE; Raspberry Pi cluster with
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from collections.abc import Callable
+from typing import Any
 
 from repro.errors import ConfigurationError
 from repro.sim.kernel import Simulator
@@ -34,7 +35,7 @@ class StarTopology:
     sim: Simulator
     network: Network
     root: SimNode
-    locals: List[SimNode] = field(default_factory=list)
+    locals: list[SimNode] = field(default_factory=list)
 
     @property
     def n_locals(self) -> int:
@@ -52,9 +53,9 @@ class StarTopology:
             node.start()
 
     def add_local(self, profile: NodeProfile,
-                  behavior: Optional[Behavior] = None,
-                  bandwidth: Optional[float] = None,
-                  latency: Optional[float] = None) -> SimNode:
+                  behavior: Behavior | None = None,
+                  bandwidth: float | None = None,
+                  latency: float | None = None) -> SimNode:
         """Add a local node at runtime (Section 4.3.4 membership change).
 
         The caller must inform the root behaviour; this only wires the
@@ -80,9 +81,9 @@ def build_star(n_locals: int, sizer: Callable[[Any], int], *,
                local_profile: NodeProfile = INTEL_XEON,
                bandwidth: float = ETHERNET_25G,
                latency: float = DEFAULT_LATENCY_S,
-               root_behavior: Optional[Behavior] = None,
-               local_behavior_factory: Optional[
-                   Callable[[int], Behavior]] = None) -> StarTopology:
+               root_behavior: Behavior | None = None,
+               local_behavior_factory: Callable[[int], Behavior] | None = None,
+               tiebreak_salt: int = 0) -> StarTopology:
     """Build a star cluster of one root and ``n_locals`` local nodes.
 
     Args:
@@ -92,10 +93,13 @@ def build_star(n_locals: int, sizer: Callable[[Any], int], *,
         bandwidth / latency: Link parameters for every local-root link.
         root_behavior: Behaviour installed on the root node.
         local_behavior_factory: ``i -> Behavior`` for local node ``i``.
+        tiebreak_salt: Same-time event-order permutation salt for the
+            determinism contract (see :class:`~repro.sim.kernel.
+            Simulator`); results must not depend on it.
     """
     if n_locals < 1:
         raise ConfigurationError(f"need >= 1 local node, got {n_locals}")
-    sim = Simulator()
+    sim = Simulator(tiebreak_salt=tiebreak_salt)
     network = Network(sim, sizer, default_bandwidth=bandwidth,
                       default_latency=latency)
     root = SimNode(sim, ROOT_NAME, root_profile, root_behavior)
@@ -112,7 +116,7 @@ def build_star(n_locals: int, sizer: Callable[[Any], int], *,
 
 
 def build_rpi_star(n_locals: int, sizer: Callable[[Any], int],
-                   **kwargs) -> StarTopology:
+                   **kwargs: Any) -> StarTopology:
     """The Raspberry Pi testbed of Section 5.3: Pi local nodes with
     1 GbE links and an Intel root node."""
     kwargs.setdefault("root_profile", INTEL_XEON)
@@ -121,8 +125,8 @@ def build_rpi_star(n_locals: int, sizer: Callable[[Any], int],
     return build_star(n_locals, sizer, **kwargs)
 
 
-def peer_mesh(topo: StarTopology, bandwidth: Optional[float] = None,
-              latency: Optional[float] = None) -> None:
+def peer_mesh(topo: StarTopology, bandwidth: float | None = None,
+              latency: float | None = None) -> None:
     """Fully connect the local nodes to each other.
 
     Needed by Deco_monlocal (Section 5.1 microbenchmark), where "local

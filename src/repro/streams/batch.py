@@ -10,7 +10,7 @@ view is retained for small-scale tests and examples.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -77,7 +77,7 @@ class EventBatch:
         events = list(events)
         if not events:
             return cls.empty()
-        ids, values, ts = zip(*events)
+        ids, values, ts = zip(*events, strict=True)
         return cls(np.array(ids, ID_DTYPE), np.array(values, VALUE_DTYPE),
                    np.array(ts, TS_DTYPE))
 
@@ -137,7 +137,7 @@ class EventBatch:
         """All but the first ``n`` events in arrival order."""
         return self[n:]
 
-    def split(self, n: int) -> Tuple["EventBatch", "EventBatch"]:
+    def split(self, n: int) -> tuple["EventBatch", "EventBatch"]:
         """Split into ``(first n, rest)``."""
         return self[:n], self[n:]
 
@@ -165,7 +165,7 @@ class EventBatch:
 
     # -- views ------------------------------------------------------------
 
-    def to_events(self) -> List[Event]:
+    def to_events(self) -> list[Event]:
         """Materialize per-event objects (small batches only)."""
         return list(self)
 

@@ -16,7 +16,6 @@ depends on counts and generated timestamps (see DESIGN.md Section 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
@@ -40,7 +39,7 @@ class Sensor:
     frequency_hz: int
 
 
-def default_sensors(n_players: int = 16) -> List[Sensor]:
+def default_sensors(n_players: int = 16) -> list[Sensor]:
     """The default sensor population: players' leg sensors plus one ball."""
     sensors = [Sensor(i, "player", PLAYER_SENSOR_HZ)
                for i in range(n_players)]

@@ -9,7 +9,8 @@ increasing per source.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, NamedTuple
+from collections.abc import Iterable, Iterator
+from typing import NamedTuple
 
 #: Number of timestamp units per second of stream time.
 TICKS_PER_SECOND = 1_000_000
@@ -59,12 +60,12 @@ def validate_monotonic(events: Iterable[Event]) -> None:
 
 def iter_events(ids, values, ts) -> Iterator[Event]:
     """Yield :class:`Event` objects from three parallel sequences."""
-    for i, v, t in zip(ids, values, ts):
+    for i, v, t in zip(ids, values, ts, strict=True):
         yield Event(int(i), float(v), int(t))
 
 
 def events_from_values(values: Iterable[float], start_ts: int = 0,
-                       spacing: int = 1) -> List[Event]:
+                       spacing: int = 1) -> list[Event]:
     """Build an evenly spaced event list from raw values (test helper)."""
     return [
         Event(i, float(v), start_ts + i * spacing)

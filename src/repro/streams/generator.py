@@ -15,7 +15,8 @@ drawn uniformly from ``[base * (1 - change), base * (1 + change)]``.
 from __future__ import annotations
 
 import math
-from typing import Iterator, Optional, Protocol
+from collections.abc import Iterator
+from typing import Protocol
 
 import numpy as np
 
@@ -85,7 +86,7 @@ class RateChangeGenerator:
 
     def __init__(self, base_rate: float, change_fraction: float = 0.0, *,
                  epoch_seconds: float = 1.0,
-                 value_source: Optional[ValueSource] = None,
+                 value_source: ValueSource | None = None,
                  seed: int = 0, start_ts: int = 0, id_start: int = 0):
         if base_rate <= 0:
             raise ConfigurationError(f"base_rate must be > 0, got {base_rate}")
@@ -105,7 +106,7 @@ class RateChangeGenerator:
         self._epoch_ticks = max(1, int(round(epoch_seconds * TICKS_PER_SECOND)))
         # Leftover events of the current epoch not yet emitted: a pair of
         # (timestamps array, cursor) or None when a fresh epoch is needed.
-        self._pending_ts: Optional[np.ndarray] = None
+        self._pending_ts: np.ndarray | None = None
         self._pending_cursor = 0
 
     # -- internal ----------------------------------------------------------
@@ -200,7 +201,7 @@ class BurstyGenerator:
 
     def __init__(self, base_rate: float, *, on_seconds: float = 1.0,
                  off_seconds: float = 1.0, change_fraction: float = 0.0,
-                 seed: int = 0, value_source: Optional[ValueSource] = None):
+                 seed: int = 0, value_source: ValueSource | None = None):
         if on_seconds <= 0 or off_seconds < 0:
             raise ConfigurationError(
                 f"need on_seconds > 0 and off_seconds >= 0, got "

@@ -11,7 +11,7 @@ exactly from the merge.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -20,7 +20,7 @@ from repro.streams.batch import EventBatch
 
 
 def merge_batches(
-        batches: Sequence[EventBatch]) -> Tuple[EventBatch, np.ndarray]:
+        batches: Sequence[EventBatch]) -> tuple[EventBatch, np.ndarray]:
     """Stably merge per-source batches by timestamp.
 
     Returns the merged batch and a parallel ``source`` array giving, for
@@ -84,7 +84,7 @@ def window_boundaries_per_source(source: np.ndarray, window_size: int,
 
 
 def global_windows(merged: EventBatch,
-                   window_size: int) -> List[EventBatch]:
+                   window_size: int) -> list[EventBatch]:
     """Split a merged stream into complete tumbling count windows."""
     if window_size <= 0:
         raise ConfigurationError(

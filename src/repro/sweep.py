@@ -27,7 +27,7 @@ from __future__ import annotations
 import os
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
 
 from repro.core.records import RunResult
 from repro.core.runner import RunConfig, get_scheme, run_scheme
@@ -41,7 +41,7 @@ from repro.obs.tracer import RunTracer
 JOBS_ENV = "REPRO_JOBS"
 
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
+def resolve_jobs(jobs: int | None = None) -> int:
     """Resolve the worker count: argument > ``$REPRO_JOBS`` > CPUs."""
     if jobs is None:
         env = os.environ.get(JOBS_ENV, "").strip()
@@ -50,7 +50,8 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
                 jobs = int(env)
             except ValueError:
                 raise ConfigurationError(
-                    f"{JOBS_ENV} must be an integer, got {env!r}")
+                    f"{JOBS_ENV} must be an integer, "
+                    f"got {env!r}") from None
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs < 1:
@@ -62,13 +63,16 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 #: schemes over the same workload loads the ``.npz`` once.  Ordered by
 #: recency of use: eviction removes only the least-recently-used entry,
 #: so the workloads a worker keeps cycling through stay resident.
-_WORKER_WORKLOADS: "OrderedDict[str, Workload]" = OrderedDict()
+# Deliberate per-worker cache: keyed by spill path, holding immutable
+# workloads — a hit returns bit-identical data to a regeneration, so
+# sharing across runs cannot change results.
+_WORKER_WORKLOADS: "OrderedDict[str, Workload]" = OrderedDict()  # decolint: disable=DL005
 _WORKER_MEMO_CAPACITY = 4
 
 
 def _run_one(config: RunConfig,
-             payload: Union[None, str, Workload]
-             ) -> Tuple[RunResult, Optional[TraceSummary]]:
+             payload: None | str | Workload
+             ) -> tuple[RunResult, TraceSummary | None]:
     """Worker entry point: run one config over a shipped workload.
 
     ``payload`` is a spill-file path (the normal case — workers load
@@ -80,7 +84,7 @@ def _run_one(config: RunConfig,
     :class:`~repro.obs.summary.TraceSummary` when ``config.trace`` is
     set (full event lists stay worker-side; only the rollup ships back).
     """
-    workload: Optional[Workload]
+    workload: Workload | None
     if isinstance(payload, str):
         workload = _WORKER_WORKLOADS.get(payload)
         if workload is None:
@@ -109,22 +113,22 @@ class SweepExecutor:
             through; defaults to the process-wide cache.
     """
 
-    def __init__(self, jobs: Optional[int] = None,
-                 cache: Optional[WorkloadCache] = None):
+    def __init__(self, jobs: int | None = None,
+                 cache: WorkloadCache | None = None):
         self.jobs = resolve_jobs(jobs)
         self.cache = cache if cache is not None else default_cache()
         #: Per-config trace rollups of the last sweep, aligned with the
         #: submitted configs (``None`` for untraced runs).  Merge with
         #: :func:`repro.obs.summary.merge_summaries` for a fleet view.
-        self.trace_summaries: List[Optional[TraceSummary]] = []
+        self.trace_summaries: list[TraceSummary | None] = []
 
-    def run(self, configs: Sequence[RunConfig]) -> List[RunResult]:
+    def run(self, configs: Sequence[RunConfig]) -> list[RunResult]:
         """Run every config; results in submission order."""
         return [result for result, _ in self.run_with_workloads(configs)]
 
     def run_with_workloads(
             self, configs: Sequence[RunConfig]
-    ) -> List[Tuple[RunResult, Workload]]:
+    ) -> list[tuple[RunResult, Workload]]:
         """Run every config; returns ``(result, workload)`` pairs in
         submission order.
 
@@ -141,13 +145,13 @@ class SweepExecutor:
         for config in configs:
             get_scheme(config.scheme)
         # Generate each distinct workload exactly once, up front.
-        workloads: Dict[WorkloadSpec, Workload] = {}
+        workloads: dict[WorkloadSpec, Workload] = {}
         for config in configs:
             spec = config.workload_key()
             if spec not in workloads:
                 workloads[spec] = self.cache.get(spec)
         if self.jobs == 1 or len(configs) == 1:
-            out: List[Tuple[RunResult, Workload]] = []
+            out: list[tuple[RunResult, Workload]] = []
             for config in configs:
                 workload = workloads[config.workload_key()]
                 result, summary = _run_one(config, workload)
@@ -156,7 +160,7 @@ class SweepExecutor:
             return out
         # Ship workloads as spill paths when possible (workers np.load
         # the shared file) and fall back to pickling the workload.
-        payloads: Dict[WorkloadSpec, Union[str, Workload]] = {}
+        payloads: dict[WorkloadSpec, str | Workload] = {}
         for spec, workload in workloads.items():
             if self.cache.spill:
                 payloads[spec] = str(self.cache.ensure_spilled(spec))
@@ -174,4 +178,5 @@ class SweepExecutor:
                 results.append(result)
                 self.trace_summaries.append(summary)
         return [(result, workloads[config.workload_key()])
-                for result, config in zip(results, configs)]
+                for result, config in zip(results, configs,
+                                          strict=True)]

@@ -8,7 +8,6 @@ every ``step`` events.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.streams.batch import EventBatch
 from repro.windows.base import SlidingCountWindow, TumblingCountWindow
@@ -17,10 +16,10 @@ from repro.windows.base import SlidingCountWindow, TumblingCountWindow
 class TumblingCountOperator:
     """Stream operator emitting tumbling count windows."""
 
-    def __init__(self, spec: TumblingCountWindow):
+    def __init__(self, spec: TumblingCountWindow) -> None:
         spec.validate()
         self.spec = spec
-        self._pending: List[EventBatch] = []
+        self._pending: list[EventBatch] = []
         self._pending_len = 0
 
     @property
@@ -28,9 +27,9 @@ class TumblingCountOperator:
         """Events currently buffered in the incomplete window."""
         return self._pending_len
 
-    def add(self, batch: EventBatch) -> List[EventBatch]:
+    def add(self, batch: EventBatch) -> list[EventBatch]:
         """Feed a batch; return any windows it completes, in order."""
-        out: List[EventBatch] = []
+        out: list[EventBatch] = []
         length = self.spec.length
         while len(batch):
             need = length - self._pending_len
@@ -58,7 +57,7 @@ class SlidingCountOperator:
     (``length`` events), so memory stays bounded by the window length.
     """
 
-    def __init__(self, spec: SlidingCountWindow):
+    def __init__(self, spec: SlidingCountWindow) -> None:
         spec.validate()
         self.spec = spec
         self._tail = EventBatch.empty()
@@ -67,10 +66,10 @@ class SlidingCountOperator:
         # Start position of the next window to emit.
         self._next_window_start = 0
 
-    def add(self, batch: EventBatch) -> List[EventBatch]:
+    def add(self, batch: EventBatch) -> list[EventBatch]:
         """Feed a batch; return completed sliding windows, in order."""
         self._tail = EventBatch.concat([self._tail, batch])
-        out: List[EventBatch] = []
+        out: list[EventBatch] = []
         length, step = self.spec.length, self.spec.step
         end = self._tail_start + len(self._tail)
         while self._next_window_start + length <= end:

@@ -8,7 +8,6 @@ as the terminating gap is observed in event time.
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 
@@ -20,10 +19,10 @@ from repro.windows.base import SessionWindow
 class SessionOperator:
     """Stream operator emitting gap-terminated session windows."""
 
-    def __init__(self, spec: SessionWindow):
+    def __init__(self, spec: SessionWindow) -> None:
         spec.validate()
         self.spec = spec
-        self._pending: List[EventBatch] = []
+        self._pending: list[EventBatch] = []
         self._last_ts: int = -1
 
     @property
@@ -31,12 +30,12 @@ class SessionOperator:
         """Whether a session is currently accumulating events."""
         return bool(self._pending)
 
-    def add(self, batch: EventBatch) -> List[EventBatch]:
+    def add(self, batch: EventBatch) -> list[EventBatch]:
         """Feed a timestamp-sorted batch; return completed sessions."""
         if not batch.is_ts_sorted():
             raise StreamError(
                 "session windows require timestamp-sorted input")
-        out: List[EventBatch] = []
+        out: list[EventBatch] = []
         gap = self.spec.gap_ticks
         while len(batch):
             if self._last_ts < 0:

@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Tuple, Union
+from typing import Deque
 
 from repro.aggregates.base import AggregateFunction
 from repro.streams.batch import EventBatch
@@ -38,8 +38,8 @@ class CountSlicer:
     ``step == length`` (a single slice per window).
     """
 
-    def __init__(self, spec: Union[TumblingCountWindow, SlidingCountWindow],
-                 fn: AggregateFunction):
+    def __init__(self, spec: TumblingCountWindow | SlidingCountWindow,
+                 fn: AggregateFunction) -> None:
         spec.validate()
         if isinstance(spec, TumblingCountWindow):
             self.length, self.step = spec.length, spec.length
@@ -62,9 +62,9 @@ class CountSlicer:
         self.events_lifted = 0
         self.partial_combines = 0
 
-    def add(self, batch: EventBatch) -> List[WindowResult]:
+    def add(self, batch: EventBatch) -> list[WindowResult]:
         """Feed a batch; return every window it completes, in order."""
-        out: List[WindowResult] = []
+        out: list[WindowResult] = []
         while len(batch):
             need = self.slice_size - self._open_count
             head, batch = batch.split(need)
@@ -80,9 +80,9 @@ class CountSlicer:
                 out.extend(self._emit_ready())
         return out
 
-    def _emit_ready(self) -> List[WindowResult]:
+    def _emit_ready(self) -> list[WindowResult]:
         """Emit every window whose slices are all complete."""
-        out: List[WindowResult] = []
+        out: list[WindowResult] = []
         while True:
             start = self._next_window * self.slices_per_step
             end = start + self.slices_per_window

@@ -8,7 +8,6 @@ the watermark-free single-source setting used by the substrate baselines.
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 import numpy as np
 
@@ -20,18 +19,18 @@ from repro.windows.base import SlidingTimeWindow, TumblingTimeWindow
 class TumblingTimeOperator:
     """Stream operator emitting tumbling time windows."""
 
-    def __init__(self, spec: TumblingTimeWindow):
+    def __init__(self, spec: TumblingTimeWindow) -> None:
         spec.validate()
         self.spec = spec
-        self._pending: List[EventBatch] = []
+        self._pending: list[EventBatch] = []
         self._current_window = 0  # index of the open window
 
-    def add(self, batch: EventBatch) -> List[Tuple[int, EventBatch]]:
+    def add(self, batch: EventBatch) -> list[tuple[int, EventBatch]]:
         """Feed a timestamp-sorted batch; return ``(window_index, events)``
         pairs for every window the batch completes."""
         if not batch.is_ts_sorted():
             raise StreamError("time windows require timestamp-sorted input")
-        out: List[Tuple[int, EventBatch]] = []
+        out: list[tuple[int, EventBatch]] = []
         length = self.spec.length_ticks
         while len(batch):
             window_end = (self._current_window + 1) * length
@@ -49,7 +48,7 @@ class TumblingTimeOperator:
                 self._current_window = int(batch.ts[0]) // length
         return out
 
-    def flush(self) -> Tuple[int, EventBatch]:
+    def flush(self) -> tuple[int, EventBatch]:
         """Close and return the currently open window."""
         window = (self._current_window, EventBatch.concat(self._pending))
         self._pending = []
@@ -64,20 +63,20 @@ class SlidingTimeOperator:
     retaining the last ``length`` ticks of events.
     """
 
-    def __init__(self, spec: SlidingTimeWindow):
+    def __init__(self, spec: SlidingTimeWindow) -> None:
         spec.validate()
         self.spec = spec
         self._tail = EventBatch.empty()
         self._next_window = 0
 
-    def add(self, batch: EventBatch) -> List[Tuple[int, EventBatch]]:
+    def add(self, batch: EventBatch) -> list[tuple[int, EventBatch]]:
         """Feed a timestamp-sorted batch; return completed windows."""
         if not batch.is_ts_sorted():
             raise StreamError("time windows require timestamp-sorted input")
         self._tail = EventBatch.concat([self._tail, batch])
         if len(self._tail) == 0:
             return []
-        out: List[Tuple[int, EventBatch]] = []
+        out: list[tuple[int, EventBatch]] = []
         length, step = self.spec.length_ticks, self.spec.step_ticks
         max_ts = int(self._tail.ts[-1])
         # Window k is complete once an event at/past its end exists.

@@ -1,0 +1,346 @@
+"""deco-lint: per-rule fixtures, suppression, scoping, and CLI.
+
+Each rule has a "fires on bad code" and a "silent on good code" pair,
+with the fixture paths chosen so scope matching mirrors the shipped
+package layout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (Finding, all_rules, lint_source,
+                                 main, run_lint, select_rules)
+from repro.errors import ConfigurationError
+
+SIM_PATH = "src/repro/sim/fixture.py"
+CORE_PATH = "src/repro/core/fixture.py"
+METRICS_PATH = "src/repro/metrics/fixture.py"
+OBS_PATH = "src/repro/obs/fixture.py"
+SCRIPT_PATH = "examples/fixture.py"
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestFramework:
+    def test_rules_are_registered_in_code_order(self):
+        rule_codes = [r.code for r in all_rules()]
+        assert rule_codes == sorted(rule_codes)
+        assert rule_codes == ["DL001", "DL002", "DL003", "DL004",
+                              "DL005"]
+
+    def test_every_rule_has_docs(self):
+        for rule in all_rules():
+            assert rule.summary, rule.code
+            assert rule.__doc__, rule.code
+            assert rule.code in rule.__doc__
+
+    def test_select_unknown_code_raises(self):
+        with pytest.raises(ConfigurationError, match="DL999"):
+            select_rules(["DL999"])
+
+    def test_syntax_error_reports_dl000(self):
+        findings = run_lint([str(REPO / "tests" / "__init__.py")])
+        assert findings == []
+
+    def test_finding_format(self):
+        f = Finding(path="a.py", line=3, col=7, code="DL001",
+                    message="nope")
+        assert f.format() == "a.py:3:7: DL001 nope"
+
+    def test_out_of_package_gets_every_rule(self):
+        src = "import time\nt = time.time()\n"
+        assert codes(lint_source(src, SCRIPT_PATH)) == ["DL001"]
+
+    def test_scope_excludes_other_packages(self):
+        src = "import time\nt = time.time()\n"
+        assert lint_source(src, METRICS_PATH) == []
+
+
+class TestSuppression:
+    def test_line_suppression(self):
+        src = ("import time\n"
+               "t = time.time()  # decolint: disable=DL001\n")
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_line_suppression_is_per_code(self):
+        src = ("import time\n"
+               "t = time.time()  # decolint: disable=DL002\n")
+        assert codes(lint_source(src, SIM_PATH)) == ["DL001"]
+
+    def test_file_suppression(self):
+        src = ("# decolint: disable-file=DL001\n"
+               "import time\n"
+               "a = time.time()\n"
+               "b = time.monotonic()\n")
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_all_keyword(self):
+        src = ("import time\n"
+               "t = time.time()  # decolint: disable=all\n")
+        assert lint_source(src, SIM_PATH) == []
+
+
+class TestDL001WallClock:
+    def test_time_time_fires(self):
+        src = "import time\nt = time.time()\n"
+        assert codes(lint_source(src, SIM_PATH)) == ["DL001"]
+
+    def test_from_import_alias_fires(self):
+        src = ("from time import perf_counter as pc\n"
+               "t = pc()\n")
+        assert codes(lint_source(src, SIM_PATH)) == ["DL001"]
+
+    def test_datetime_now_fires(self):
+        src = ("import datetime\n"
+               "t = datetime.datetime.now()\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL001"]
+
+    def test_unseeded_random_fires(self):
+        src = "import random\nx = random.random()\n"
+        assert codes(lint_source(src, SIM_PATH)) == ["DL001"]
+
+    def test_unseeded_default_rng_fires(self):
+        src = "import numpy\nrng = numpy.random.default_rng()\n"
+        assert codes(lint_source(src, SIM_PATH)) == ["DL001"]
+
+    def test_legacy_numpy_global_draw_fires(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert codes(lint_source(src, SIM_PATH)) == ["DL001"]
+
+    def test_seeded_constructions_pass(self):
+        src = ("import random\n"
+               "import numpy as np\n"
+               "r = random.Random(7)\n"
+               "g = np.random.default_rng(7)\n")
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_sim_now_passes(self):
+        src = ("def f(sim):\n"
+               "    return sim.now\n")
+        assert lint_source(src, SIM_PATH) == []
+
+
+class TestDL002UnorderedIteration:
+    def test_for_over_set_literal_fires(self):
+        src = ("for x in {1, 2, 3}:\n"
+               "    print(x)\n")
+        assert codes(lint_source(src, SIM_PATH)) == ["DL002"]
+
+    def test_for_over_set_variable_fires(self):
+        src = ("def f(items):\n"
+               "    pending = set(items)\n"
+               "    for x in pending:\n"
+               "        print(x)\n")
+        assert codes(lint_source(src, SIM_PATH)) == ["DL002"]
+
+    def test_comprehension_over_set_call_fires(self):
+        src = "out = [x for x in set(range(3))]\n"
+        assert codes(lint_source(src, SIM_PATH)) == ["DL002"]
+
+    def test_dict_keys_iteration_fires(self):
+        src = ("def f(d):\n"
+               "    for k in d.keys():\n"
+               "        print(k)\n")
+        assert codes(lint_source(src, SIM_PATH)) == ["DL002"]
+
+    def test_list_of_set_fires(self):
+        src = "xs = list({1, 2})\n"
+        assert codes(lint_source(src, SIM_PATH)) == ["DL002"]
+
+    def test_sorted_set_passes(self):
+        src = ("def f(items):\n"
+               "    for x in sorted(set(items)):\n"
+               "        print(x)\n")
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_dict_iteration_passes(self):
+        src = ("def f(d):\n"
+               "    for k in d:\n"
+               "        print(k)\n")
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_membership_test_passes(self):
+        src = ("def f(seen, x):\n"
+               "    return x in seen\n")
+        assert lint_source(src, SIM_PATH) == []
+
+
+class TestDL003FloatEquality:
+    def test_float_literal_eq_fires(self):
+        src = ("def f(x):\n"
+               "    return x == 0.5\n")
+        assert codes(lint_source(src, METRICS_PATH)) == ["DL003"]
+
+    def test_division_ne_fires(self):
+        src = ("def f(a, b, c):\n"
+               "    return a / b != c\n")
+        assert codes(lint_source(src, METRICS_PATH)) == ["DL003"]
+
+    def test_float_call_eq_fires(self):
+        src = ("def f(a, b):\n"
+               "    return float(a) == b\n")
+        assert codes(lint_source(src, METRICS_PATH)) == ["DL003"]
+
+    def test_isclose_passes(self):
+        src = ("import math\n"
+               "def f(a, b):\n"
+               "    return math.isclose(a / 2, b)\n")
+        assert lint_source(src, METRICS_PATH) == []
+
+    def test_int_eq_passes(self):
+        src = ("def f(n):\n"
+               "    return n == 3\n")
+        assert lint_source(src, METRICS_PATH) == []
+
+    def test_not_applied_in_sim(self):
+        src = ("def f(x):\n"
+               "    return x == 0.5\n")
+        assert lint_source(src, SIM_PATH) == []
+
+
+class TestDL004UnguardedTracer:
+    def test_unguarded_event_fires(self):
+        src = ("def f(self):\n"
+               "    self.tracer.event('msg_send', 0.0, 'n')\n")
+        assert codes(lint_source(src, SIM_PATH)) == ["DL004"]
+
+    def test_unguarded_inc_fires(self):
+        src = ("def f(tracer):\n"
+               "    tracer.inc('messages', 'node')\n")
+        assert codes(lint_source(src, SIM_PATH)) == ["DL004"]
+
+    def test_guarded_call_passes(self):
+        src = ("def f(self):\n"
+               "    tracer = self.ctx.tracer\n"
+               "    if tracer.enabled:\n"
+               "        tracer.event('msg_send', 0.0, 'n')\n"
+               "        tracer.inc('messages', 'n')\n")
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_guard_does_not_cover_else(self):
+        src = ("def f(tracer):\n"
+               "    if tracer.enabled:\n"
+               "        pass\n"
+               "    else:\n"
+               "        tracer.event('msg_send', 0.0, 'n')\n")
+        assert codes(lint_source(src, SIM_PATH)) == ["DL004"]
+
+    def test_non_tracer_receiver_passes(self):
+        src = ("def f(registry):\n"
+               "    registry.inc('counter')\n")
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_not_applied_outside_hot_packages(self):
+        src = ("def f(tracer):\n"
+               "    tracer.event('msg_send', 0.0, 'n')\n")
+        assert lint_source(src, OBS_PATH) == []
+
+
+class TestDL005SharedMutableState:
+    def test_mutable_default_arg_fires(self):
+        src = ("def f(items=[]):\n"
+               "    return items\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL005"]
+
+    def test_mutable_kwonly_default_fires(self):
+        src = ("def f(*, cache={}):\n"
+               "    return cache\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL005"]
+
+    def test_module_global_mutated_fires(self):
+        src = ("_CACHE = {}\n"
+               "def put(k, v):\n"
+               "    _CACHE[k] = v\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL005"]
+
+    def test_module_global_method_mutation_fires(self):
+        src = ("_SEEN = []\n"
+               "def note(x):\n"
+               "    _SEEN.append(x)\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL005"]
+
+    def test_import_time_registry_passes(self):
+        src = ("_TABLE = {'a': 1}\n"
+               "def get(k):\n"
+               "    return _TABLE[k]\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_shadowed_local_passes(self):
+        src = ("_CACHE = {}\n"
+               "def f():\n"
+               "    _CACHE = {}\n"
+               "    _CACHE['k'] = 1\n"
+               "    return _CACHE\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_none_default_passes(self):
+        src = ("def f(items=None):\n"
+               "    items = [] if items is None else items\n"
+               "    return items\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_applies_everywhere_in_package(self):
+        src = "def f(x=[]):\n    return x\n"
+        assert codes(lint_source(src, METRICS_PATH)) == ["DL005"]
+
+
+class TestShippedTreeIsClean:
+    """The merged tree must lint clean — the CI gate in miniature."""
+
+    def test_src_repro_clean(self):
+        findings = run_lint([str(REPO / "src" / "repro")])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_examples_and_benchmarks_clean(self):
+        findings = run_lint([str(REPO / "examples"),
+                             str(REPO / "benchmarks")])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+
+class TestCli:
+    def test_exit_zero_on_clean(self, capsys):
+        assert main([str(REPO / "src" / "repro" / "errors.py")]) == 0
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DL001" in out
+
+    def test_report_only_exits_zero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main([str(bad), "--report-only"]) == 0
+
+    def test_usage_error_exits_two(self, tmp_path):
+        assert main([str(tmp_path / "missing"), "--select",
+                     "DL123"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DL001", "DL002", "DL003", "DL004", "DL005"):
+            assert code in out
+
+    def test_select_subset(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n"
+                       "def f(x=[]):\n    return x\n")
+        assert main([str(bad), "--select", "DL003"]) == 0
+        assert main([str(bad), "--select", "DL001"]) == 1
+
+    def test_repro_cli_integration(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--list-rules"],
+            capture_output=True, text=True, cwd=str(REPO),
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin"})
+        assert proc.returncode == 0
+        assert "DL001" in proc.stdout

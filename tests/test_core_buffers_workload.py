@@ -200,4 +200,5 @@ class TestWorkload:
         a = generate_workload(2, 100, 3, rate_per_node=1000, seed=9)
         b = generate_workload(2, 100, 3, rate_per_node=1000, seed=9)
         assert np.array_equal(a.bounds, b.bounds)
-        assert all(x == y for x, y in zip(a.streams, b.streams))
+        assert all(x == y
+                   for x, y in zip(a.streams, b.streams, strict=True))

@@ -98,7 +98,8 @@ class TestThroughputSkipsByIndex:
         # (list slot skip-1 = window 3) would give a different answer
         # than the correct index anchor (window 2).
         pairs = [(0, 1.0)] + list(
-            zip(range(2, 10), [3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 20.0]))
+            zip(range(2, 10), [3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 20.0],
+                strict=True))
         result = self.result_with_windows(pairs)
         # Steady state: windows 3..9 (7 windows) over t(9) - t(2).
         assert sustainable_throughput(result, skip=3) == pytest.approx(

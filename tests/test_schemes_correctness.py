@@ -118,7 +118,8 @@ class TestWatermarks:
         times = [o.emit_time
                  for o in sorted(result.outcomes,
                                  key=lambda o: o.index)]
-        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert all(b >= a
+                   for a, b in zip(times, times[1:], strict=False))
 
 
 class TestFlows:

@@ -112,7 +112,8 @@ class TestSweepExecutor:
         pairs = SweepExecutor(jobs=1).run_with_workloads(
             _tiny_configs())
         by_seed = {}
-        for (result, workload), config in zip(pairs, _tiny_configs()):
+        for (_result, workload), config in zip(pairs, _tiny_configs(),
+                                              strict=True):
             by_seed.setdefault(config.seed, []).append(workload)
         for workloads in by_seed.values():
             assert all(w is workloads[0] for w in workloads)
@@ -185,7 +186,8 @@ class TestWorkloadCache:
         assert cache2.spill_hits == 1
         assert len(loaded.streams) == len(generated.streams)
         assert all(a == b for a, b in zip(loaded.streams,
-                                          generated.streams))
+                                          generated.streams,
+                                          strict=True))
         assert np.array_equal(loaded.bounds, generated.bounds)
         assert np.array_equal(loaded.boundary_ts, generated.boundary_ts)
 
@@ -218,7 +220,8 @@ class TestWorkloadCache:
         assert loaded.window_size == workload.window_size
         assert loaded.n_windows == workload.n_windows
         assert all(a == b for a, b in zip(loaded.streams,
-                                          workload.streams))
+                                          workload.streams,
+                                          strict=True))
         assert np.array_equal(loaded.bounds, workload.bounds)
 
     def test_clear_spill(self, tmp_path):
@@ -246,7 +249,8 @@ class TestWorkloadCache:
             "ensure_spilled returned a path with no file behind it"
         reloaded = load_workload(path)
         assert all(a == b for a, b in zip(reloaded.streams,
-                                          workload.streams))
+                                          workload.streams,
+                                          strict=True))
 
     def test_ensure_spilled_rejects_spill_disabled(self, tmp_path):
         cache = WorkloadCache(spill_dir=tmp_path, spill=False)

@@ -1,0 +1,49 @@
+"""The ``trace`` argument is strictly typed: bool/None/RunTracer only.
+
+Truthy stand-ins (``trace=1``, ``trace="yes"``) used to be silently
+treated as "tracing off"; they are configuration errors now.
+"""
+
+import pytest
+
+from repro.api import run
+from repro.errors import ConfigurationError
+from repro.obs.tracer import RunTracer, resolve_tracer
+
+
+class TestResolveTracer:
+    def test_false_and_none_mean_off(self):
+        assert resolve_tracer(False) is None
+        assert resolve_tracer(None) is None
+
+    def test_true_makes_fresh_tracer(self):
+        tracer = resolve_tracer(True)
+        assert isinstance(tracer, RunTracer)
+        assert resolve_tracer(True) is not tracer
+
+    def test_existing_tracer_passes_through(self):
+        tracer = RunTracer()
+        assert resolve_tracer(tracer) is tracer
+
+    @pytest.mark.parametrize("bad", [1, 0, "yes", "", [], object()])
+    def test_other_values_raise(self, bad):
+        with pytest.raises(ConfigurationError, match="trace must be"):
+            resolve_tracer(bad)
+
+    def test_error_names_offending_type(self):
+        with pytest.raises(ConfigurationError, match="int"):
+            resolve_tracer(1)
+
+
+class TestApiIntegration:
+    def test_truthy_int_rejected_before_running(self):
+        with pytest.raises(ConfigurationError, match="trace must be"):
+            run("central", n_nodes=1, window_size=200, n_windows=1,
+                rate_per_node=5_000.0, trace=1)
+
+    def test_collect_into_existing_tracer(self):
+        tracer = RunTracer()
+        summary = run("central", n_nodes=1, window_size=200,
+                      n_windows=1, rate_per_node=5_000.0, trace=tracer)
+        assert summary.trace is tracer
+        assert tracer.events
