@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from typing import Any
 
 from repro.errors import AggregationError
@@ -94,6 +94,23 @@ class AggregateFunction(ABC):
         """Fold :meth:`combine` over many partials."""
         acc = self.identity()
         for partial in partials:
+            acc = self.combine(acc, partial)
+        return acc
+
+    def combine_many(self, partials: Sequence[Any]) -> Any:
+        """Left-to-right fold of :meth:`combine` without seeding the
+        identity.
+
+        The range-aggregation index uses this to keep the combine
+        association a pure function of the decomposition: seeding with
+        :meth:`identity` would insert one extra floating-point
+        operation whose bit-effect (e.g. ``0.0 + -0.0``) depends on
+        the first partial.  Empty input returns :meth:`identity`.
+        """
+        if not partials:
+            return self.identity()
+        acc = partials[0]
+        for partial in partials[1:]:
             acc = self.combine(acc, partial)
         return acc
 

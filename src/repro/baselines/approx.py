@@ -90,8 +90,7 @@ class ApproxRoot(RootBehaviorBase):
 
     def __init__(self, ctx: SchemeContext):
         super().__init__(ctx)
-        from repro.core.buffers import PositionBuffer
-        self.raw = [PositionBuffer() for _ in range(self.n_nodes)]
+        self.raw = self.new_raw_buffers()
         self.reports = ReportCollector(self.n_nodes)
         #: Static per-node sizes, fixed after window 0.
         self.static_sizes: dict[int, int] = {}
@@ -130,7 +129,7 @@ class ApproxRoot(RootBehaviorBase):
         partial = self.fn.identity()
         for a, (start, end) in spans.items():
             partial = self.fn.combine(
-                partial, self.fn.lift(self.raw[a].get_range(start, end)))
+                partial, self.raw[a].lift_range(start, end))
 
         def assign():
             # One-time static split from window 0's observed sizes.

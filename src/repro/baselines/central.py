@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core.buffers import PositionBuffer
 from repro.core.context import SchemeContext
 from repro.core.local import LocalBehaviorBase
 from repro.core.protocol import RawEvents, SourceBatch
@@ -59,7 +58,7 @@ class CentralRoot(RootBehaviorBase):
 
     def __init__(self, ctx: SchemeContext):
         super().__init__(ctx)
-        self.raw = [PositionBuffer() for _ in range(self.n_nodes)]
+        self.raw = self.new_raw_buffers()
 
     def handle(self, node: SimNode, msg) -> None:
         if not isinstance(msg, RawEvents):  # pragma: no cover - defensive
@@ -82,8 +81,7 @@ class CentralRoot(RootBehaviorBase):
             partial = self.fn.identity()
             for a, (start, end) in spans.items():
                 partial = self.fn.combine(
-                    partial, self.fn.lift(self.raw[a].get_range(start,
-                                                                end)))
+                    partial, self.raw[a].lift_range(start, end))
             for a, (_, end) in spans.items():
                 self.raw[a].release_before(end)
             self.emit(node, g, self.fn.lower(partial), spans,

@@ -1,0 +1,216 @@
+"""Shared range-aggregation index: O(log n) zero-copy ``lift_range``.
+
+Every scheme answers "aggregate positions ``[start, end)``" against a
+:class:`~repro.core.buffers.PositionBuffer`.  The naive path
+materializes a copied batch and re-lifts it from scratch — O(range) per
+call, repeated for overlapping speculative windows, corrections, and
+root-side re-verification, so the same events are lifted many times per
+run.  The paper's own premise (Section 2.3, via Scotty-style slicing)
+is that decomposable functions let partials be computed once and
+*combined*; this module exploits that host-side.
+
+Structure: the stream is cut into aligned *chunks* of
+``chunk_size`` events (a power of two).  Level-0 nodes are the lifted
+partials of completed chunks; a level-``k`` node is
+``combine(left child, right child)`` over an aligned run of ``2**k``
+chunks.  A range query decomposes into at most ``2*log2(n_chunks)``
+precomputed nodes plus two sub-chunk remainder lifts, combined
+left-to-right — no event arrays are copied for the interior.
+
+Bit-identity contract: the decomposition and the combine association
+depend only on ``(start, end)`` and ``chunk_size`` — never on what
+happens to be cached.  With caching disabled (``REPRO_AGG_INDEX=0``)
+the same node partials are recomputed from raw events through the same
+recursion, so window results, flows, bytes, and determinism
+fingerprints are bit-identical with the index on or off.  Caching can
+only change *host* wall-clock, never a partial's bits.
+
+Non-decomposable (holistic) functions must not use the tree — their
+partials are the collected values, so caching them would duplicate the
+buffer.  :class:`~repro.core.buffers.PositionBuffer` gates on
+``fn.is_decomposable`` and falls back to a direct lift.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from typing import Any
+
+from repro.aggregates.base import AggregateFunction
+from repro.errors import ConfigurationError
+from repro.streams.batch import EventBatch
+
+#: Aligned-chunk width of the index, in events.  Power of two so node
+#: spans nest exactly; 512 keeps leaf lifts comfortably vectorized
+#: while bounding the sub-chunk remainder work of a query.
+DEFAULT_CHUNK_SIZE = 512
+
+#: Environment escape hatch for A/B benchmarking: ``REPRO_AGG_INDEX=0``
+#: disables partial caching (the decomposition itself still runs, so
+#: results stay bit-identical — only host wall-clock changes).
+INDEX_ENV_VAR = "REPRO_AGG_INDEX"
+
+
+def index_enabled_default() -> bool:
+    """Whether new buffers cache partials (``REPRO_AGG_INDEX``)."""
+    raw = os.environ.get(INDEX_ENV_VAR, "1").strip().lower()
+    return raw not in ("0", "false", "no", "off")
+
+
+class RangeAggregateIndex:
+    """Power-of-two tree of combined partials over aligned chunks.
+
+    The index does not own event storage: ``fetch(start, end)`` reads
+    raw events from the backing buffer (zero-copy when the range lies
+    in one stored batch).  ``caching=False`` keeps the canonical
+    decomposition but recomputes every node from raw events — the
+    bit-identical naive baseline of the A/B escape hatch.
+    """
+
+    def __init__(self, fn: AggregateFunction,
+                 fetch: Callable[[int, int], EventBatch],
+                 *, base: int = 0,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 caching: bool = True) -> None:
+        if chunk_size <= 0 or chunk_size & (chunk_size - 1):
+            raise ConfigurationError(
+                f"chunk_size must be a positive power of two, got "
+                f"{chunk_size}")
+        self.fn = fn
+        self.chunk_size = chunk_size
+        self.caching = caching
+        self._fetch = fetch
+        #: Per-level node partials; ``_levels[k][i]`` covers chunk run
+        #: ``[i * 2**k, (i + 1) * 2**k)``.
+        self._levels: list[dict[int, Any]] = [{}]
+        #: Lowest per-level index not yet evicted (indices only grow,
+        #: so eviction pops a contiguous prefix — amortized O(1)).
+        self._floors: list[int] = [0]
+        #: Next chunk index awaiting completion.
+        self._next_leaf = -(-base // chunk_size)
+        # -- host-side statistics (never affect results) --
+        self.nodes_built = 0
+        self.nodes_evicted = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- maintenance -------------------------------------------------------
+
+    def extend(self, end: int) -> None:
+        """Absorb appended events: build leaves for every chunk that is
+        now complete (``(c + 1) * chunk_size <= end``) and bubble
+        parent nodes up while both children exist."""
+        if not self.caching:
+            return
+        size = self.chunk_size
+        c = self._next_leaf
+        while (c + 1) * size <= end:
+            self._set_leaf(c, self.fn.lift(
+                self._fetch(c * size, (c + 1) * size)))
+            c += 1
+        self._next_leaf = c
+
+    def _set_leaf(self, chunk: int, partial: Any) -> None:
+        levels = self._levels
+        levels[0][chunk] = partial
+        self.nodes_built += 1
+        level, idx = 0, chunk
+        # Chunks complete left-to-right, so a parent is buildable
+        # exactly when its *right* child lands and the left sibling is
+        # still cached (not evicted past).
+        while idx & 1:
+            sibling = levels[level].get(idx - 1)
+            if sibling is None:
+                break
+            partial = self.fn.combine(sibling, partial)
+            level += 1
+            idx >>= 1
+            if level == len(levels):
+                levels.append({})
+                self._floors.append(0)
+            levels[level][idx] = partial
+            self.nodes_built += 1
+
+    def release_before(self, position: int) -> None:
+        """Evict every node whose span starts before ``position``.
+
+        Mirrors buffer eviction: a node overlapping released positions
+        can never be requested again (queries start at or after the
+        buffer base), so it is dropped.  Floors only advance, so each
+        node index is visited at most once over the buffer's lifetime.
+        """
+        if not self.caching:
+            return
+        span = self.chunk_size
+        for level, nodes in enumerate(self._levels):
+            floor = -(-position // span)
+            old = self._floors[level]
+            if floor > old:
+                for i in range(old, floor):
+                    if nodes.pop(i, None) is not None:
+                        self.nodes_evicted += 1
+                self._floors[level] = floor
+            span <<= 1
+        self._next_leaf = max(self._next_leaf,
+                              -(-position // self.chunk_size))
+
+    # -- queries -----------------------------------------------------------
+
+    def lift_range(self, start: int, end: int) -> Any:
+        """Partial aggregate of ``[start, end)``.
+
+        Decomposes the range into sub-chunk head/tail remainders plus
+        the canonical power-of-two node cover of the aligned interior,
+        then folds the parts left-to-right.  The decomposition is a
+        pure function of ``(start, end)`` — caching never changes it.
+        """
+        fn = self.fn
+        if end <= start:
+            return fn.identity()
+        size = self.chunk_size
+        head_end = min(end, -(-start // size) * size)
+        tail_start = max(head_end, (end // size) * size)
+        parts: list[Any] = []
+        if start < head_end:
+            parts.append(fn.lift(self._fetch(start, head_end)))
+        c0, c1 = head_end // size, tail_start // size
+        while c0 < c1:
+            # Largest aligned block starting at c0 that fits in [c0, c1).
+            block = c0 & -c0 if c0 else 1 << ((c1 - c0).bit_length() - 1)
+            while c0 + block > c1:
+                block >>= 1
+            level = block.bit_length() - 1
+            parts.append(self._node(level, c0 >> level))
+            c0 += block
+        if tail_start < end:
+            parts.append(fn.lift(self._fetch(tail_start, end)))
+        return fn.combine_many(parts)
+
+    def _node(self, level: int, idx: int) -> Any:
+        """One node's partial: cached, or recomputed through the same
+        recursion (identical bits either way)."""
+        if self.caching and level < len(self._levels):
+            partial = self._levels[level].get(idx)
+            if partial is not None:
+                self.cache_hits += 1
+                return partial
+            self.cache_misses += 1
+        if level == 0:
+            size = self.chunk_size
+            return self.fn.lift(self._fetch(idx * size,
+                                            (idx + 1) * size))
+        return self.fn.combine(self._node(level - 1, 2 * idx),
+                               self._node(level - 1, 2 * idx + 1))
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def nodes_cached(self) -> int:
+        """Nodes currently held (memory-bound checks in tests)."""
+        return sum(len(nodes) for nodes in self._levels)
+
+    def __repr__(self) -> str:
+        return (f"RangeAggregateIndex(fn={self.fn.name!r}, "
+                f"chunk={self.chunk_size}, caching={self.caching}, "
+                f"nodes={self.nodes_cached})")

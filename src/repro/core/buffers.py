@@ -6,22 +6,63 @@ which raw positions it holds in its buffers.  ``PositionBuffer`` stores
 contiguous event runs addressed by absolute stream position, supports
 range extraction, and releases verified prefixes (the paper's bounded
 memory argument, Sections 4.3.1-4.3.2).
+
+When bound to an aggregate function, the buffer also maintains a
+:class:`~repro.core.agg_index.RangeAggregateIndex` so
+:meth:`PositionBuffer.lift_range` answers range aggregations from
+precomputed partials in O(log n) combines instead of re-lifting
+O(range) events — see :mod:`repro.core.agg_index` for the structure
+and the bit-identity contract of the ``REPRO_AGG_INDEX`` A/B switch.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from typing import Any
 
+from repro.aggregates.base import AggregateFunction
+from repro.core.agg_index import (DEFAULT_CHUNK_SIZE,
+                                  RangeAggregateIndex,
+                                  index_enabled_default)
 from repro.errors import WindowError
 from repro.streams.batch import EventBatch
 
+#: Compact the released head of the batch lists once it exceeds this
+#: many entries *and* at least half the list (amortized O(1) per batch).
+_COMPACT_THRESHOLD = 32
+
 
 class PositionBuffer:
-    """Contiguous events of one stream, addressed by absolute position."""
+    """Contiguous events of one stream, addressed by absolute position.
 
-    def __init__(self, base: int = 0) -> None:
+    ``fn`` binds the buffer to the run's aggregate function and enables
+    indexed :meth:`lift_range`; position-only users (tests, generic
+    stores) may omit it.  ``use_index=None`` reads the
+    ``REPRO_AGG_INDEX`` environment switch; passing ``False`` keeps the
+    canonical chunked decomposition but recomputes every partial from
+    raw events (the bit-identical naive baseline).
+    """
+
+    def __init__(self, base: int = 0,
+                 fn: AggregateFunction | None = None, *,
+                 use_index: bool | None = None,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
         self._base = base  # absolute position of the first retained event
         self._batches: list[EventBatch] = []
+        #: Absolute start position of each stored batch (bisect key).
+        self._starts: list[int] = []
+        #: Index of the first live batch; release advances it instead
+        #: of popping the list head (amortized O(1) eviction).
+        self._head = 0
         self._length = 0
+        self.fn = fn
+        self._index: RangeAggregateIndex | None = None
+        if fn is not None and fn.is_decomposable:
+            caching = (index_enabled_default() if use_index is None
+                       else use_index)
+            self._index = RangeAggregateIndex(
+                fn, self.get_range, base=base, chunk_size=chunk_size,
+                caching=caching)
 
     # -- state --------------------------------------------------------------
 
@@ -40,14 +81,22 @@ class PositionBuffer:
         """Number of events currently held (memory bound check)."""
         return self._length
 
+    @property
+    def index(self) -> RangeAggregateIndex | None:
+        """The aggregate index, when one is bound (introspection)."""
+        return self._index
+
     # -- mutation --------------------------------------------------------------
 
     def append(self, batch: EventBatch) -> None:
         """Append events arriving in stream order."""
         if len(batch) == 0:
             return
+        self._starts.append(self._base + self._length)
         self._batches.append(batch)
         self._length += len(batch)
+        if self._index is not None:
+            self._index.extend(self._base + self._length)
 
     def insert_at(self, position: int, batch: EventBatch) -> None:
         """Append events known to start at absolute ``position``.
@@ -67,22 +116,32 @@ class PositionBuffer:
         """Drop events before absolute ``position``; returns #dropped.
 
         Mirrors watermark-driven eviction: once a window is verified,
-        everything before its end is dropped.
+        everything before its end is dropped.  Fully-released batches
+        are skipped by advancing the head cursor; the underlying lists
+        are compacted once the dead prefix dominates.
         """
         if position <= self._base:
             return 0
         drop = min(position - self._base, self._length)
-        remaining = drop
-        while remaining > 0 and self._batches:
-            head = self._batches[0]
-            if len(head) <= remaining:
-                remaining -= len(head)
-                self._batches.pop(0)
-            else:
-                self._batches[0] = head.drop(remaining)
-                remaining = 0
-        self._base += drop
+        new_base = self._base + drop
+        i = self._head
+        batches, starts = self._batches, self._starts
+        while (i < len(batches)
+               and starts[i] + len(batches[i]) <= new_base):
+            i += 1
+        self._head = i
+        if i < len(batches) and starts[i] < new_base:
+            batches[i] = batches[i].drop(new_base - starts[i])
+            starts[i] = new_base
+        self._base = new_base
         self._length -= drop
+        if (self._head > _COMPACT_THRESHOLD
+                and self._head * 2 >= len(batches)):
+            del batches[:self._head]
+            del starts[:self._head]
+            self._head = 0
+        if self._index is not None:
+            self._index.release_before(new_base)
         return drop
 
     # -- access ----------------------------------------------------------------
@@ -90,7 +149,9 @@ class PositionBuffer:
     def get_range(self, start: int, end: int) -> EventBatch:
         """Events at absolute positions ``[start, end)``.
 
-        Raises :class:`WindowError` when the range is not fully held —
+        Returns a zero-copy view when the range lies inside one stored
+        batch; spanning ranges concatenate views.  Raises
+        :class:`WindowError` when the range is not fully held —
         callers must check :attr:`end` (availability) first.
         """
         if start < self._base:
@@ -102,19 +163,45 @@ class PositionBuffer:
                 f"range end {end} beyond available {self.end}")
         if end <= start:
             return EventBatch.empty()
+        starts = self._starts
+        i = bisect_right(starts, start, lo=self._head) - 1
+        first = self._batches[i]
+        offset = starts[i]
+        if end <= offset + len(first):
+            # Zero-copy fast path: one stored batch covers the range.
+            return first.slice_range(start - offset, end - offset)
         parts: list[EventBatch] = []
-        offset = self._base
-        need_start, need_end = start, end
-        for batch in self._batches:
-            batch_end = offset + len(batch)
-            if batch_end > need_start and offset < need_end:
-                lo = max(0, need_start - offset)
-                hi = min(len(batch), need_end - offset)
-                parts.append(batch.slice_range(lo, hi))
-            offset = batch_end
-            if offset >= need_end:
-                break
+        pos = start
+        while pos < end:
+            batch = self._batches[i]
+            offset = starts[i]
+            hi = min(len(batch), end - offset)
+            parts.append(batch.slice_range(pos - offset, hi))
+            pos = offset + hi
+            i += 1
         return EventBatch.concat(parts)
+
+    def lift_range(self, start: int, end: int) -> Any:
+        """Partial aggregate of ``[start, end)`` under the bound ``fn``.
+
+        Decomposable functions go through the range-aggregation index
+        (O(log n) combines over precomputed partials, no event-array
+        copies); non-decomposable/holistic functions fall back to a
+        direct lift of the extracted range.  Results are bit-identical
+        whether or not the index caches (``REPRO_AGG_INDEX``).
+        """
+        fn = self.fn
+        if fn is None:
+            raise WindowError(
+                "lift_range requires a buffer bound to an aggregate "
+                "function (PositionBuffer(fn=...))")
+        if self._index is None:
+            return fn.lift(self.get_range(start, end))
+        if start < self._base or end > self.end:
+            # Surface the same diagnostics as get_range before the
+            # decomposition touches any chunk.
+            self.get_range(start, end)
+        return self._index.lift_range(start, end)
 
     def has_range(self, start: int, end: int) -> bool:
         """Whether ``[start, end)`` is fully buffered right now."""

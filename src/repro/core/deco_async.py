@@ -34,7 +34,6 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core.buffers import PositionBuffer
 from repro.core.context import SchemeContext
 from repro.core.deco_sync import BOOTSTRAP_WINDOWS
 from repro.core.local import LocalBehaviorBase
@@ -268,7 +267,7 @@ class DecoAsyncRoot(RootBehaviorBase):
 
     def __init__(self, ctx: SchemeContext) -> None:
         super().__init__(ctx)
-        self.raw = [PositionBuffer() for _ in range(self.n_nodes)]
+        self.raw = self.new_raw_buffers()
         self.reports = ReportCollector(self.n_nodes)
         self.corrections = ReportCollector(self.n_nodes)
         predictor_cls = PREDICTORS[ctx.query.predictor]
@@ -363,8 +362,7 @@ class DecoAsyncRoot(RootBehaviorBase):
             partial = self.fn.identity()
             for a, (start, end) in spans.items():
                 partial = self.fn.combine(
-                    partial,
-                    self.fn.lift(self.raw[a].get_range(start, end)))
+                    partial, self.raw[a].lift_range(start, end))
                 self.predictors[a].observe(end - start)
             last = g == BOOTSTRAP_WINDOWS - 1 or \
                 g == self.ctx.n_windows - 1

@@ -27,7 +27,6 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import TYPE_CHECKING, Any
 
-from repro.core.buffers import PositionBuffer
 from repro.core.context import SchemeContext
 from repro.core.local import LocalBehaviorBase
 from repro.core.prediction import PREDICTORS
@@ -224,7 +223,7 @@ class DecoSyncRoot(RootBehaviorBase):
 
     def __init__(self, ctx: SchemeContext) -> None:
         super().__init__(ctx)
-        self.raw = [PositionBuffer() for _ in range(self.n_nodes)]
+        self.raw = self.new_raw_buffers()
         self.reports = ReportCollector(self.n_nodes)
         self.corrections = ReportCollector(self.n_nodes)
         predictor_cls = PREDICTORS[ctx.query.predictor]
@@ -322,8 +321,7 @@ class DecoSyncRoot(RootBehaviorBase):
             partial = self.fn.identity()
             for a, (start, end) in spans.items():
                 partial = self.fn.combine(
-                    partial,
-                    self.fn.lift(self.raw[a].get_range(start, end)))
+                    partial, self.raw[a].lift_range(start, end))
                 self.predictors[a].observe(end - start)
             last = g == BOOTSTRAP_WINDOWS - 1 or \
                 g == self.ctx.n_windows - 1

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import Any
 
+from repro.core.buffers import PositionBuffer
 from repro.core.context import SchemeContext
 from repro.core.protocol import (CorrectionReport, LocalWindowReport,
                                  Message, RawEvents, ResendRequest)
@@ -89,6 +90,16 @@ class RootBehaviorBase:
         """Ground-truth per-node spans of one global window."""
         return {a: self.workload.span(window, a)
                 for a in range(self.n_nodes)}
+
+    def new_raw_buffers(self) -> list[PositionBuffer]:
+        """One aggregate-bound raw-event buffer per local node.
+
+        Binding the run's aggregate lets root-side window aggregation
+        (bootstrap and centralized paths) reuse the buffers'
+        range-aggregation index instead of re-lifting raw ranges.
+        """
+        return [PositionBuffer(fn=self.fn)
+                for _ in range(self.n_nodes)]
 
     def ingest_positioned_raw(self, node: SimNode, msg: RawEvents,
                               store: PositionBuffer) -> bool:

@@ -67,9 +67,13 @@ class EventBatch:
 
     @classmethod
     def empty(cls) -> "EventBatch":
-        """An empty batch."""
-        return cls(np.empty(0, ID_DTYPE), np.empty(0, VALUE_DTYPE),
-                   np.empty(0, TS_DTYPE))
+        """The shared empty batch.
+
+        Batches are immutable, so a single zero-length instance serves
+        every caller; ``empty()`` is hit once per drained buffer slice
+        and per out-of-range ``get_range``.
+        """
+        return _EMPTY
 
     @classmethod
     def from_events(cls, events: Iterable[Event]) -> "EventBatch":
@@ -130,22 +134,33 @@ class EventBatch:
     # -- slicing ----------------------------------------------------------
 
     def take(self, n: int) -> "EventBatch":
-        """The first ``n`` events in arrival order."""
+        """The first ``n`` events in arrival order.
+
+        Taking the whole batch returns ``self`` — batches are immutable,
+        so identity is safe and skips even the view wrappers.
+        """
+        if n >= len(self):
+            return self
         return self[:n]
 
     def drop(self, n: int) -> "EventBatch":
         """All but the first ``n`` events in arrival order."""
+        if n <= 0:
+            return self
         return self[n:]
 
     def split(self, n: int) -> tuple["EventBatch", "EventBatch"]:
         """Split into ``(first n, rest)``."""
-        return self[:n], self[n:]
+        return self.take(n), self.drop(n)
 
     def slice_range(self, start: int, stop: int) -> "EventBatch":
         """Events at positions ``[start, stop)`` in arrival order.
 
-        Returns views into this batch's columns (no data copies).
+        Returns views into this batch's columns (no data copies); the
+        full-span slice returns ``self``.
         """
+        if start <= 0 and stop >= len(self):
+            return self
         return EventBatch._view(self.ids[start:stop],
                                 self.values[start:stop],
                                 self.ts[start:stop])
@@ -182,3 +197,9 @@ class EventBatch:
         if len(self) == 0:
             raise StreamError("last_ts of an empty batch")
         return int(self.ts[-1])
+
+
+#: The module-wide empty batch returned by :meth:`EventBatch.empty`
+#: (immutable, hence shareable).  Assigned once at import time.
+_EMPTY = EventBatch(np.empty(0, ID_DTYPE), np.empty(0, VALUE_DTYPE),
+                    np.empty(0, TS_DTYPE))

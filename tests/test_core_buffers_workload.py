@@ -97,6 +97,32 @@ class TestPositionBuffer:
         buf.insert_at(0, EventBatch.empty())
         assert buf.retained == 0
 
+    def test_many_release_cycles_compact_dead_prefix(self):
+        # Stream through far more batches than the buffer retains; the
+        # head cursor plus threshold compaction must keep the batch
+        # list bounded and every surviving range addressable.
+        buf = PositionBuffer()
+        for i in range(400):
+            buf.append(make_batch(10, start_id=i * 10))
+            if i >= 3:
+                buf.release_before((i - 3) * 10)
+        assert buf.retained == 40
+        assert len(buf._batches) < 100  # dead prefix was compacted
+        assert list(buf.get_range(buf.base, buf.base + 5).ids) == \
+            list(range(buf.base, buf.base + 5))
+        assert list(buf.get_range(buf.end - 5, buf.end).ids) == \
+            list(range(buf.end - 5, buf.end))
+
+    def test_release_interleaved_with_mid_batch_queries(self):
+        buf = PositionBuffer()
+        for i in range(8):
+            buf.append(make_batch(7, start_id=i * 7))
+        buf.release_before(10)  # mid-batch trim
+        assert buf.base == 10
+        assert list(buf.get_range(10, 16).ids) == list(range(10, 16))
+        buf.release_before(10)  # idempotent
+        assert list(buf.get_range(40, 56).ids) == list(range(40, 56))
+
 
 class TestQuery:
     def test_aggregate_resolved_by_name(self):
