@@ -9,12 +9,13 @@ decomposable and Deco-friendly.
 from __future__ import annotations
 
 import math
-from typing import NamedTuple
+from collections.abc import Sequence
+from typing import Any, NamedTuple
 
 import numpy as np
 
 from repro.aggregates.base import (AggregateFunction, Decomposability,
-                                   GrayKind)
+                                   GrayKind, equal_width_rows)
 from repro.streams.batch import EventBatch
 
 
@@ -47,6 +48,14 @@ class Average(AggregateFunction):
             total += v
             count += 1
         return SumCount(total, count)
+
+    def lift_ranges(self, batch: EventBatch, starts: Sequence[int],
+                    ends: Sequence[int]) -> list[Any]:
+        rows = equal_width_rows(batch, starts, ends)
+        if rows is None:
+            return super().lift_ranges(batch, starts, ends)
+        width = rows.shape[1]
+        return [SumCount(float(v), width) for v in rows.sum(axis=1)]
 
     def combine(self, left: SumCount, right: SumCount) -> SumCount:
         return SumCount(left.total + right.total, left.count + right.count)

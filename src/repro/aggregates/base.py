@@ -21,8 +21,36 @@ from abc import ABC, abstractmethod
 from collections.abc import Iterable, Sequence
 from typing import Any
 
+import numpy as np
+
 from repro.errors import AggregationError
 from repro.streams.batch import EventBatch
+
+
+def equal_width_rows(batch: EventBatch, starts: Sequence[int],
+                     ends: Sequence[int]) -> np.ndarray | None:
+    """The batch's values as ``(n_ranges, width)`` rows, when possible.
+
+    Returns a 2-d value block when the ranges are equal-width and
+    contiguous (the shape chunk-tree leaf builds produce), else
+    ``None``.  Row-wise ndarray reductions over this block are
+    bit-identical to reducing each slice separately — numpy's pairwise
+    summation visits each row's elements in the same order either way —
+    which is what lets :meth:`AggregateFunction.lift_ranges` vectorize
+    without breaking the index's bit-identity contract.
+    """
+    n = len(starts)
+    if n == 0 or len(ends) != n:
+        return None
+    width = ends[0] - starts[0]
+    if width <= 0:
+        return None
+    for i in range(n):
+        if ends[i] - starts[i] != width:
+            return None
+        if i and starts[i] != ends[i - 1]:
+            return None
+    return batch.values[starts[0]:ends[n - 1]].reshape(n, width)
 
 
 class GrayKind(enum.Enum):
@@ -87,6 +115,19 @@ class AggregateFunction(ABC):
         for i in range(len(batch)):
             acc = self.combine(acc, self.lift(batch[i:i + 1]))
         return acc
+
+    def lift_ranges(self, batch: EventBatch, starts: Sequence[int],
+                    ends: Sequence[int]) -> list[Any]:
+        """Partial aggregates of several ``[start, end)`` slices.
+
+        Equivalent to ``[lift(batch.slice_range(s, e)) ...]`` — and
+        bound to it bit-for-bit: overrides may batch the reductions
+        (one row-wise ndarray reduction instead of one call per range)
+        but must return exactly what the per-range lifts would.  The
+        chunk-tree index uses this to build many leaves per append.
+        """
+        return [self.lift(batch.slice_range(int(s), int(e)))
+                for s, e in zip(starts, ends, strict=True)]
 
     # -- conveniences ------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""The deco-lint rule set (DL001-DL005).
+"""The deco-lint rule set (DL001-DL006).
 
 Each rule encodes one clause of the simulator's determinism contract
 (see DESIGN.md section 8).  All rules are purely syntactic/AST-based —
@@ -11,6 +11,7 @@ DL002  no iteration over unordered collections in simulation code
 DL003  no float ``==`` / ``!=`` in metrics and aggregates
 DL004  tracer hot-path calls must be guarded by ``.enabled``
 DL005  no mutable default arguments; no mutated module-level state
+DL006  no wire-size constant arithmetic outside the wire layer
 """
 
 from __future__ import annotations
@@ -526,6 +527,78 @@ class NoSharedMutableState(LintRule):
         return None
 
 
+class NoWireSizeArithmetic(LintRule):
+    """DL006: wire-size constants may only enter arithmetic inside the
+    wire layer (``repro/wire``) and the size model it derives
+    (``repro/sim/serialization``).
+
+    Expressions like ``3 * EVENT_BYTES[fmt]`` or
+    ``HEADER_BYTES[fmt] + 24 * n`` sprinkled through scheme or analysis
+    code re-derive the frame layout by hand; when the layout changes
+    (new header field, new scalar slot) those copies silently go stale
+    and the byte accounting drifts from what the codec actually frames.
+    Size questions go through :func:`repro.core.protocol.sizeof_message`
+    / :func:`repro.sim.serialization.message_size` instead.  Deliberate
+    exceptions (e.g. a benchmark explaining the string-expansion factor)
+    carry a per-line suppression with the justification next to it.
+    """
+
+    code = "DL006"
+    name = "no-wire-size-arithmetic"
+    summary = ("wire-size constant arithmetic outside repro/wire and "
+               "repro/sim/serialization duplicates the frame layout")
+    scope = ()  # applies everywhere; the wire layer itself is exempted
+
+    #: The derived size-model tables and the layout constants they come
+    #: from.  Any of these appearing inside arithmetic re-encodes the
+    #: frame layout.
+    SIZE_CONSTANTS = frozenset({
+        "EVENT_BYTES", "HEADER_BYTES", "SCALAR_BYTES",
+        "WIRE_EVENT_BYTES", "WIRE_HEADER_BYTES", "WIRE_SCALAR_BYTES",
+    })
+
+    #: Package paths allowed to do layout arithmetic: the layout's
+    #: single source of truth and the size model derived from it.
+    EXEMPT = ("repro/wire", "repro/sim/serialization")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.in_package():
+            pkg = ctx.package_path()
+            return not any(pkg.startswith(prefix)
+                           for prefix in self.EXEMPT)
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        yield from self._visit(ctx, ctx.tree)
+
+    def _visit(self, ctx: FileContext, node: ast.AST
+               ) -> Iterable[Finding]:
+        # Flag only the outermost arithmetic expression mentioning a
+        # size constant (one finding per formula, not per operand).
+        if isinstance(node, ast.BinOp):
+            name = self._size_constant_in(node)
+            if name is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"arithmetic over wire-size constant `{name}` "
+                    f"outside the wire layer; use "
+                    f"`sizeof_message`/`message_size` (or move the "
+                    f"formula into repro.wire)")
+                return
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(ctx, child)
+
+    def _size_constant_in(self, node: ast.AST) -> str | None:
+        for sub in ast.walk(node):
+            if (isinstance(sub, ast.Name)
+                    and sub.id in self.SIZE_CONSTANTS):
+                return sub.id
+            if (isinstance(sub, ast.Attribute)
+                    and sub.attr in self.SIZE_CONSTANTS):
+                return sub.attr
+        return None
+
+
 #: Registered rules, in code order.
 DEFAULT_RULES: tuple[type, ...] = (
     NoWallClockOrUnseededRandom,
@@ -533,4 +606,5 @@ DEFAULT_RULES: tuple[type, ...] = (
     NoFloatEquality,
     GuardedTracerCalls,
     NoSharedMutableState,
+    NoWireSizeArithmetic,
 )

@@ -100,16 +100,34 @@ class RangeAggregateIndex:
     def extend(self, end: int) -> None:
         """Absorb appended events: build leaves for every chunk that is
         now complete (``(c + 1) * chunk_size <= end``) and bubble
-        parent nodes up while both children exist."""
+        parent nodes up while both children exist.
+
+        Multi-chunk appends fetch the whole new-chunk block once and
+        lift all leaves through the aggregate's batched
+        :meth:`~repro.aggregates.base.AggregateFunction.lift_ranges`
+        kernel (one row-wise reduction), which is bit-identical to
+        lifting each chunk separately — the per-leaf partials that land
+        in the tree are the same either way.
+        """
         if not self.caching:
             return
         size = self.chunk_size
-        c = self._next_leaf
-        while (c + 1) * size <= end:
-            self._set_leaf(c, self.fn.lift(
-                self._fetch(c * size, (c + 1) * size)))
-            c += 1
-        self._next_leaf = c
+        first = self._next_leaf
+        n_new = end // size - first
+        if n_new <= 0:
+            return
+        if n_new == 1:
+            self._set_leaf(first, self.fn.lift(
+                self._fetch(first * size, (first + 1) * size)))
+        else:
+            block = self._fetch(first * size, (first + n_new) * size)
+            starts = [i * size for i in range(n_new)]
+            ends = [(i + 1) * size for i in range(n_new)]
+            for c, partial in enumerate(
+                    self.fn.lift_ranges(block, starts, ends),
+                    start=first):
+                self._set_leaf(c, partial)
+        self._next_leaf = first + n_new
 
     def _set_leaf(self, chunk: int, partial: Any) -> None:
         levels = self._levels

@@ -18,6 +18,7 @@ from typing import Any
 
 from repro.sim.serialization import WireFormat, message_size
 from repro.streams.batch import EventBatch
+from repro.wire.format import partial_wire_slots
 
 
 @dataclass(frozen=True)
@@ -178,28 +179,42 @@ def _batch_len(batch: EventBatch | None) -> int:
 
 def sizeof_message(msg: Message,
                    fmt: WireFormat = WireFormat.BINARY) -> int:
-    """Structural wire size of a protocol message."""
+    """Structural wire size of a protocol message.
+
+    The per-type scalar counts mirror the frame schemas of
+    :mod:`repro.wire.codec` slot for slot (partials counted through the
+    shared :func:`repro.wire.format.partial_wire_slots`), so for binary
+    formats ``sizeof_message(msg) == len(codec.encode_message(msg))``
+    exactly — a property pinned by the wire tests and CI gate.
+    """
     if isinstance(msg, SourceBatch):
         return 0  # generator is co-located with the node
     if isinstance(msg, RawEvents):
+        # window_index + start
         return message_size(n_events=len(msg.events), n_scalars=2,
                             fmt=fmt)
     if isinstance(msg, ResendRequest):
         return message_size(n_scalars=1, fmt=fmt)
     if isinstance(msg, RateReport):
+        # window_index + event_rate + events_seen
         return message_size(n_scalars=3, fmt=fmt)
     if isinstance(msg, LocalWindowReport):
         n_events = (_batch_len(msg.buffer) + _batch_len(msg.fbuffer)
                     + _batch_len(msg.ebuffer))
-        # partial + count + rate + spec/slice starts + first/last ts +
-        # window/epoch ids.
-        return message_size(n_events=n_events, n_scalars=9, fmt=fmt)
+        # window/epoch ids + count + rate + spec/slice starts +
+        # first/last ts + fbuffer/ebuffer length slots + the partial.
+        n_scalars = 10 + partial_wire_slots(msg.partial)
+        return message_size(n_events=n_events, n_scalars=n_scalars,
+                            fmt=fmt)
     if isinstance(msg, FrontBuffer):
+        # window_index + epoch + spec_start
         return message_size(n_events=len(msg.events), n_scalars=3,
                             fmt=fmt)
     if isinstance(msg, CorrectionReport):
-        return message_size(n_events=len(msg.last_event), n_scalars=4,
-                            fmt=fmt)
+        # window_index + epoch + count + the partial.
+        n_scalars = 3 + partial_wire_slots(msg.partial)
+        return message_size(n_events=len(msg.last_event),
+                            n_scalars=n_scalars, fmt=fmt)
     if isinstance(msg, WindowAssignment):
         return message_size(n_scalars=7, fmt=fmt)
     if isinstance(msg, CorrectionRequest):

@@ -20,18 +20,19 @@ boundaries serve two purposes:
 from __future__ import annotations
 
 import hashlib
+import json
 import math
 import os
 import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from collections.abc import Sequence
-from typing import TYPE_CHECKING
+from collections.abc import Callable, Sequence
+from typing import IO, TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StreamError
 from repro.streams.batch import EventBatch
 from repro.streams.event import TICKS_PER_SECOND, ticks_to_seconds
 from repro.streams.generator import RateChangeGenerator
@@ -258,10 +259,35 @@ class WorkloadSpec:
             streams_per_node=self.streams_per_node)
 
 
-def save_workload(path: Path, workload: Workload) -> None:
-    """Persist a workload as an ``.npz`` archive (atomic replace)."""
+#: Prefix of in-flight spill writes; a crashed writer leaves one of
+#: these behind, and :meth:`WorkloadCache.clear` sweeps them up.
+_TMP_PREFIX = ".wlspill-"
+
+
+def _atomic_write(path: Path,
+                  write: Callable[[IO[bytes]], None]) -> None:
+    """Write ``path`` through a same-directory temp file + rename.
+
+    Shared by both spill formats: concurrent sweep workers may race to
+    spill the same workload, and ``os.replace`` makes the last writer
+    win without any reader ever seeing a half-written file.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=_TMP_PREFIX, suffix=path.suffix,
+                               dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            write(fh)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def _workload_arrays(workload: Workload) -> dict[str, np.ndarray]:
+    """A workload's persistent arrays in deterministic order."""
     arrays = {
         "meta": np.array([workload.window_size, workload.n_windows,
                           workload.n_nodes], dtype=np.int64),
@@ -272,15 +298,13 @@ def save_workload(path: Path, workload: Workload) -> None:
         arrays[f"ids_{i}"] = stream.ids
         arrays[f"values_{i}"] = stream.values
         arrays[f"ts_{i}"] = stream.ts
-    fd, tmp = tempfile.mkstemp(suffix=".npz", dir=path.parent)
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            np.savez(fh, **arrays)
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
+    return arrays
+
+
+def save_workload(path: Path, workload: Workload) -> None:
+    """Persist a workload as an ``.npz`` archive (atomic replace)."""
+    arrays = _workload_arrays(workload)
+    _atomic_write(Path(path), lambda fh: np.savez(fh, **arrays))
 
 
 def load_workload(path: Path) -> Workload:
@@ -291,9 +315,9 @@ def load_workload(path: Path) -> Workload:
     """
     with np.load(path, allow_pickle=False) as archive:
         window_size, n_windows, n_nodes = archive["meta"].tolist()
-        streams = [EventBatch(archive[f"ids_{i}"],
-                              archive[f"values_{i}"],
-                              archive[f"ts_{i}"])
+        streams = [EventBatch._view(archive[f"ids_{i}"],
+                                    archive[f"values_{i}"],
+                                    archive[f"ts_{i}"])
                    for i in range(n_nodes)]
         return Workload(streams=streams, window_size=int(window_size),
                         n_windows=int(n_windows),
@@ -301,14 +325,164 @@ def load_workload(path: Path) -> Workload:
                         boundary_ts=archive["boundary_ts"])
 
 
+# -- memory-mapped spill container ---------------------------------------------
+#
+# ``.npz`` spills force every sweep worker to decompress and copy the
+# full multi-million-event stream into its own heap.  The ``.wlm``
+# container instead lays the raw little-endian arrays out 64-byte
+# aligned after a small JSON table of contents, so every worker maps
+# the *same* OS page-cache copy read-only (``np.memmap``) and hands the
+# column views straight to ``EventBatch._view`` — cold-start cost is a
+# page-table setup instead of a copy, and N workers share one physical
+# copy of the workload.
+
+#: First bytes of a ``.wlm`` spill container.
+_WLM_MAGIC = b"DWLM"
+#: Bumped on layout changes (stale containers never misparse).
+_WLM_VERSION = 1
+#: Array payload alignment (covers any dtype; cache-line friendly).
+_WLM_ALIGN = 64
+
+
+def _align_up(n: int) -> int:
+    return -(-n // _WLM_ALIGN) * _WLM_ALIGN
+
+
+def save_workload_mmap(path: Path, workload: Workload) -> None:
+    """Persist a workload as a mappable ``.wlm`` container (atomic)."""
+    arrays = {name: np.ascontiguousarray(arr)
+              for name, arr in _workload_arrays(workload).items()}
+    # The header records absolute offsets, and offsets depend on the
+    # header's own length — so reserve a whole span for the envelope
+    # and grow it until the real header fits.
+    span = 1024
+    while True:
+        table = []
+        offset = _align_up(span)
+        for name, arr in arrays.items():
+            table.append((name, arr, offset))
+            offset = _align_up(offset + arr.nbytes)
+        header = json.dumps({
+            "version": _WLM_VERSION,
+            "arrays": [{"name": n, "dtype": a.dtype.str,
+                        "shape": list(a.shape), "offset": off}
+                       for n, a, off in table],
+        }).encode()
+        if len(_WLM_MAGIC) + 4 + len(header) <= span:
+            break
+        span *= 2
+
+    def write(fh: IO[bytes]) -> None:
+        fh.write(_WLM_MAGIC)
+        fh.write(len(header).to_bytes(4, "little"))
+        fh.write(header)
+        at = len(_WLM_MAGIC) + 4 + len(header)
+        for _, arr, off in table:
+            fh.write(b"\0" * (off - at))
+            fh.write(arr.tobytes())
+            at = off + arr.nbytes
+
+    _atomic_write(Path(path), write)
+
+
+def load_workload_mmap(path: Path) -> Workload:
+    """Map a ``.wlm`` spill read-only; streams are zero-copy views.
+
+    All returned arrays are views over one shared ``np.memmap`` (kept
+    alive through their ``base`` chain); stream columns go through
+    ``EventBatch._view``, so N processes loading the same spill share
+    one page-cache copy of the workload.  Corrupted or truncated
+    containers raise :class:`~repro.errors.StreamError`.
+    """
+    path = Path(path)
+    try:
+        mm = np.memmap(path, dtype=np.uint8, mode="r")
+    except (OSError, ValueError) as exc:
+        raise StreamError(f"unreadable workload spill {path}: {exc}") \
+            from None
+    raw = mm[:len(_WLM_MAGIC) + 4].tobytes()
+    if raw[:len(_WLM_MAGIC)] != _WLM_MAGIC:
+        raise StreamError(f"bad workload spill magic in {path}")
+    header_len = int.from_bytes(raw[len(_WLM_MAGIC):], "little")
+    header_end = len(_WLM_MAGIC) + 4 + header_len
+    if header_end > mm.size:
+        raise StreamError(f"truncated workload spill header in {path}")
+    try:
+        header = json.loads(mm[len(_WLM_MAGIC) + 4:header_end]
+                            .tobytes())
+    except ValueError as exc:
+        raise StreamError(
+            f"corrupt workload spill header in {path}: {exc}") from None
+    if header.get("version") != _WLM_VERSION:
+        raise StreamError(
+            f"unsupported workload spill version "
+            f"{header.get('version')} in {path}")
+    arrays: dict[str, np.ndarray] = {}
+    for entry in header["arrays"]:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        offset = entry["offset"]
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if offset % _WLM_ALIGN or offset + nbytes > mm.size:
+            raise StreamError(
+                f"corrupt workload spill entry {entry['name']!r} in "
+                f"{path}")
+        arrays[entry["name"]] = \
+            mm[offset:offset + nbytes].view(dtype).reshape(shape)
+    try:
+        window_size, n_windows, n_nodes = arrays["meta"].tolist()
+        streams = [EventBatch._view(arrays[f"ids_{i}"],
+                                    arrays[f"values_{i}"],
+                                    arrays[f"ts_{i}"])
+                   for i in range(n_nodes)]
+        return Workload(streams=streams, window_size=int(window_size),
+                        n_windows=int(n_windows),
+                        bounds=arrays["bounds"],
+                        boundary_ts=arrays["boundary_ts"])
+    except KeyError as exc:
+        raise StreamError(
+            f"workload spill {path} is missing array {exc}") from None
+
+
+def load_spilled(path: Path) -> Workload:
+    """Load a spill file of either format (dispatch on suffix)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        return load_workload(path)
+    return load_workload_mmap(path)
+
+
+#: Current spill-file generation; part of every spill filename so a
+#: layout change orphans old files instead of misparsing them.
+SPILL_FORMAT_VERSION = 2
+
+#: Suffix of the current (memory-mapped) spill format.
+SPILL_SUFFIX = ".wlm"
+
+#: Everything ``clear(spill=True)`` must sweep: every spill generation
+#: (the ``.npz`` era included) plus temp files from crashed writers.
+_SPILL_GLOBS = ("wl*_*.npz", f"wl*_*{SPILL_SUFFIX}", f"{_TMP_PREFIX}*")
+
+
+def spill_filename(key: str) -> str:
+    """Spill-file name for a workload key (single naming authority).
+
+    Both the format generation and the extension live here so cache
+    lookups, eviction, and :meth:`WorkloadCache.clear` can never
+    disagree about which files belong to the cache.
+    """
+    return f"wl{SPILL_FORMAT_VERSION}_{key}{SPILL_SUFFIX}"
+
+
 class WorkloadCache:
     """Two-level content-addressed workload cache.
 
     Level 1 is an in-process LRU of :class:`Workload` objects; level 2
-    is the ``.npz`` spill directory shared across processes.  ``get``
-    generates a workload at most once per distinct spec and records
-    hit/miss statistics (the test suite asserts a sweep generates each
-    workload exactly once).
+    is the memory-mapped spill directory shared across processes (one
+    page-cache copy per workload, however many workers map it).
+    ``get`` generates a workload at most once per distinct spec and
+    records hit/miss statistics (the test suite asserts a sweep
+    generates each workload exactly once).
     """
 
     def __init__(self, capacity: int = 8,
@@ -331,7 +505,7 @@ class WorkloadCache:
 
     def path(self, spec: WorkloadSpec) -> Path:
         """Spill-file location of one spec's workload."""
-        return self.spill_dir / f"wl1_{spec.key()}.npz"
+        return self.spill_dir / spill_filename(spec.key())
 
     def get(self, spec: WorkloadSpec) -> Workload:
         """The spec's workload — from memory, spill, or the generator."""
@@ -343,13 +517,13 @@ class WorkloadCache:
             return cached
         path = self.path(spec)
         if self.spill and path.exists():
-            workload = load_workload(path)
+            workload = load_spilled(path)
             self.spill_hits += 1
         else:
             workload = spec.generate()
             self.generated += 1
             if self.spill:
-                save_workload(path, workload)
+                save_workload_mmap(path, workload)
         self._lru[key] = workload
         while len(self._lru) > self.capacity:
             self._lru.popitem(last=False)
@@ -368,15 +542,21 @@ class WorkloadCache:
         workload = self.get(spec)
         path = self.path(spec)
         if not path.exists():
-            save_workload(path, workload)
+            save_workload_mmap(path, workload)
         return path
 
     def clear(self, spill: bool = False) -> None:
-        """Drop the in-memory LRU; optionally delete spill files too."""
+        """Drop the in-memory LRU; optionally delete spill files too.
+
+        The spill sweep covers every format generation plus temp files
+        left by crashed writers, so nothing the cache ever wrote can
+        leak past a ``clear(spill=True)``.
+        """
         self._lru.clear()
         if spill and self.spill_dir.is_dir():
-            for file in self.spill_dir.glob("wl1_*.npz"):
-                file.unlink(missing_ok=True)
+            for pattern in _SPILL_GLOBS:
+                for file in self.spill_dir.glob(pattern):
+                    file.unlink(missing_ok=True)
 
 
 _DEFAULT_CACHE: WorkloadCache | None = None

@@ -10,12 +10,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Callable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.obs import events as ev
 from repro.sim.kernel import PHASE_DELIVER, Simulator
 from repro.sim.node import SimNode
+
+if TYPE_CHECKING:
+    from repro.wire.codec import MessageCodec
 
 #: 25 Gbit/s Ethernet of the paper's Intel cluster.
 ETHERNET_25G = 25e9 / 8
@@ -115,6 +118,12 @@ class Network:
         self.drop_filter: Callable[..., bool] | None = None
         #: Optional fault hook: (src, dst, msg) -> extra delay seconds.
         self.delay_fn: Callable[..., float] | None = None
+        #: Optional wire codec (``repro.wire.codec.MessageCodec``).
+        #: When set, every message is encoded to a binary frame and
+        #: delivered decoded; binary formats are then sized from the
+        #: actual frame instead of the structural model.  Installed by
+        #: the runner behind ``REPRO_WIRE_CODEC``.
+        self.codec: MessageCodec | None = None
 
     # -- topology -----------------------------------------------------------
 
@@ -185,12 +194,25 @@ class Network:
     def send(self, src: str, dst: str, msg: Any) -> None:
         """Transmit ``msg`` from ``src`` to ``dst``.
 
-        Size comes from the network's sizer; the destination node's
-        ``deliver`` runs at the arrival time unless a failure hook drops
-        the message.
+        With a codec installed the message is really encoded to one
+        binary frame here and the *decoded* copy is what gets
+        delivered, so receivers only ever see what survived the wire;
+        binary formats charge the link ``len(frame)``.  Without a codec
+        (or for the string-modelled Disco baseline) size comes from the
+        structural sizer — the two agree byte-for-byte because the
+        model derives from the frame layout.  The destination node's
+        ``deliver`` runs at the arrival time unless a failure hook
+        drops the message.
         """
         link = self.link(src, dst)
-        size = self.sizer(msg)
+        codec = self.codec
+        if codec is not None:
+            frame = codec.encode_message(msg)
+            size = (len(frame) if codec.sizes_from_frames
+                    else self.sizer(msg))
+            msg = codec.decode_message(frame)
+        else:
+            size = self.sizer(msg)
         tracer = self.sim.tracer
         if self.drop_filter is not None and self.drop_filter(
                 src, dst, msg, size):

@@ -12,7 +12,13 @@ messages" (Section 5.1); we model that with two wire formats:
   encoding.
 
 Sizes are what a real implementation of each system would put on the
-wire, which is all the network-utilization experiments measure.
+wire, which is all the network-utilization experiments measure.  The
+binary constants are not hand-maintained: they are the actual framed
+sizes of :mod:`repro.wire.format`, the codec that (behind
+``REPRO_WIRE_CODEC``) really encodes every message on the simulated
+message path — so the model cannot drift from real bytes.  The string
+format is modelled as a uniform 3x expansion of the same structure
+(decimal text plus separators for every 8-byte field).
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ from __future__ import annotations
 import enum
 
 from repro.errors import ConfigurationError
+from repro.wire.format import (WIRE_EVENT_BYTES, WIRE_HEADER_BYTES,
+                               WIRE_SCALAR_BYTES)
 
 
 class WireFormat(enum.Enum):
@@ -29,15 +37,21 @@ class WireFormat(enum.Enum):
     STRING = "string"
 
 
+#: Decimal text with separators averages ~3x the fixed-width encoding.
+_STRING_EXPANSION = 3
+
 #: Bytes for one event record (id, value, ts).
-EVENT_BYTES = {WireFormat.BINARY: 24, WireFormat.STRING: 72}
+EVENT_BYTES = {WireFormat.BINARY: WIRE_EVENT_BYTES,
+               WireFormat.STRING: _STRING_EXPANSION * WIRE_EVENT_BYTES}
 
 #: Fixed per-message envelope (type tag, lengths, routing).
-HEADER_BYTES = {WireFormat.BINARY: 32, WireFormat.STRING: 96}
+HEADER_BYTES = {WireFormat.BINARY: WIRE_HEADER_BYTES,
+                WireFormat.STRING: _STRING_EXPANSION * WIRE_HEADER_BYTES}
 
 #: One scalar field (a partial aggregate component, a window size, a
 #: rate, a watermark...).
-SCALAR_BYTES = {WireFormat.BINARY: 8, WireFormat.STRING: 24}
+SCALAR_BYTES = {WireFormat.BINARY: WIRE_SCALAR_BYTES,
+                WireFormat.STRING: _STRING_EXPANSION * WIRE_SCALAR_BYTES}
 
 
 def event_payload_size(n_events: int,

@@ -82,8 +82,11 @@ class EventBatch:
         if not events:
             return cls.empty()
         ids, values, ts = zip(*events, strict=True)
-        return cls(np.array(ids, ID_DTYPE), np.array(values, VALUE_DTYPE),
-                   np.array(ts, TS_DTYPE))
+        # Columns are equal-length 1-d with explicit dtypes by
+        # construction; skip __init__'s re-validation.
+        return cls._view(np.array(ids, ID_DTYPE),
+                         np.array(values, VALUE_DTYPE),
+                         np.array(ts, TS_DTYPE))
 
     @classmethod
     def concat(cls, batches: Sequence["EventBatch"]) -> "EventBatch":

@@ -20,7 +20,7 @@ from typing import Protocol
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StreamError
 from repro.streams.batch import EventBatch
 from repro.streams.event import TICKS_PER_SECOND
 
@@ -158,7 +158,11 @@ class RateChangeGenerator:
         self._next_id += n_events
         values = np.asarray(self.value_source.values(n_events, self._rng),
                             dtype=np.float64)
-        return EventBatch(ids, values, ts)
+        if values.shape != ids.shape:
+            raise StreamError(
+                f"value source produced shape {values.shape} for "
+                f"{n_events} events")
+        return EventBatch._view(ids, values, ts)
 
     def generate_seconds(self, seconds: float) -> EventBatch:
         """Generate all events with timestamps in the next ``seconds``."""
@@ -179,7 +183,11 @@ class RateChangeGenerator:
         self._next_id += n
         values = np.asarray(self.value_source.values(n, self._rng),
                             dtype=np.float64)
-        return EventBatch(ids, values, ts)
+        if values.shape != ids.shape:
+            raise StreamError(
+                f"value source produced shape {values.shape} for "
+                f"{n} events")
+        return EventBatch._view(ids, values, ts)
 
     def batches(self, batch_size: int) -> Iterator[EventBatch]:
         """An infinite iterator of fixed-size batches."""

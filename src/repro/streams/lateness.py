@@ -45,8 +45,8 @@ def inject_disorder(batch: EventBatch, max_delay: int, fraction: float,
     # while keeping relative order among equal keys (stable sort).
     arrival_key = np.arange(n, dtype=np.int64) + delays
     order = np.argsort(arrival_key, kind="stable")
-    return EventBatch(batch.ids[order], batch.values[order],
-                      batch.ts[order])
+    return EventBatch._view(batch.ids[order], batch.values[order],
+                            batch.ts[order])
 
 
 def disorder_magnitude(batch: EventBatch) -> int:

@@ -40,8 +40,9 @@ def merge_batches(
         np.full(len(b), i, dtype=np.int64) for i, b in enumerate(batches)
     ]) if len(combined) else np.empty(0, dtype=np.int64)
     order = np.argsort(combined.ts, kind="stable")
-    merged = EventBatch(combined.ids[order], combined.values[order],
-                        combined.ts[order])
+    merged = EventBatch._view(combined.ids[order],
+                              combined.values[order],
+                              combined.ts[order])
     return merged, source[order]
 
 

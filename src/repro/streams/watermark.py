@@ -53,5 +53,5 @@ class WatermarkTracker:
         keep = batch.ts >= self._watermark
         if keep.all():
             return batch
-        return EventBatch(batch.ids[keep], batch.values[keep],
-                          batch.ts[keep])
+        return EventBatch._view(batch.ids[keep], batch.values[keep],
+                                batch.ts[keep])

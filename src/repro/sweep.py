@@ -32,7 +32,7 @@ from collections.abc import Sequence
 from repro.core.records import RunResult
 from repro.core.runner import RunConfig, get_scheme, run_scheme
 from repro.core.workload import (Workload, WorkloadCache, WorkloadSpec,
-                                 default_cache, load_workload)
+                                 default_cache, load_spilled)
 from repro.errors import ConfigurationError
 from repro.obs.summary import TraceSummary
 from repro.obs.tracer import RunTracer
@@ -60,7 +60,7 @@ def resolve_jobs(jobs: int | None = None) -> int:
 
 
 #: Per-worker memo of spilled workloads, so a worker that runs several
-#: schemes over the same workload loads the ``.npz`` once.  Ordered by
+#: schemes over the same workload maps the spill once.  Ordered by
 #: recency of use: eviction removes only the least-recently-used entry,
 #: so the workloads a worker keeps cycling through stay resident.
 # Deliberate per-worker cache: keyed by spill path, holding immutable
@@ -88,7 +88,7 @@ def _run_one(config: RunConfig,
     if isinstance(payload, str):
         workload = _WORKER_WORKLOADS.get(payload)
         if workload is None:
-            workload = load_workload(payload)
+            workload = load_spilled(payload)
             while len(_WORKER_WORKLOADS) >= _WORKER_MEMO_CAPACITY:
                 _WORKER_WORKLOADS.popitem(last=False)
             _WORKER_WORKLOADS[payload] = workload
@@ -158,8 +158,9 @@ class SweepExecutor:
                 self.trace_summaries.append(summary)
                 out.append((result, workload))
             return out
-        # Ship workloads as spill paths when possible (workers np.load
-        # the shared file) and fall back to pickling the workload.
+        # Ship workloads as spill paths when possible (workers memmap
+        # the shared file — one page-cache copy for all of them) and
+        # fall back to pickling the workload.
         payloads: dict[WorkloadSpec, str | Workload] = {}
         for spec, workload in workloads.items():
             if self.cache.spill:

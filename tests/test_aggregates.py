@@ -13,6 +13,7 @@ from repro.aggregates import (AggregateFunction, Average, Count,
                               Quantile, StdDev, Sum, Variance,
                               available_aggregates, get_aggregate,
                               register)
+from repro.aggregates.base import equal_width_rows
 from repro.errors import AggregationError
 from repro.streams.batch import EventBatch
 
@@ -232,3 +233,79 @@ class TestDecompositionProperties:
         combined = fn.combine_all(fn.lift(p) for p in parts)
         assert fn.lower(combined) == pytest.approx(
             fn.aggregate(whole), rel=1e-9, abs=1e-9)
+
+
+@st.composite
+def range_lists(draw):
+    """Arbitrary disjoint in-order [start, end) ranges over a batch."""
+    n_ranges = draw(st.integers(min_value=1, max_value=6))
+    widths = draw(st.lists(st.integers(min_value=0, max_value=8),
+                           min_size=n_ranges, max_size=n_ranges))
+    gaps = draw(st.lists(st.integers(min_value=0, max_value=3),
+                         min_size=n_ranges, max_size=n_ranges))
+    starts, ends = [], []
+    at = 0
+    for width, gap in zip(widths, gaps):
+        at += gap
+        starts.append(at)
+        ends.append(at + width)
+        at += width
+    return starts, ends
+
+
+class TestLiftRanges:
+    """The vectorized kernel contract: ``lift_ranges`` must be
+    bit-identical to the per-range scalar ``lift`` oracle, for every
+    aggregate and every range geometry (equal-width contiguous blocks
+    hit the reshaped fast path; ragged or gapped ranges fall back)."""
+
+    @pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: f.name)
+    @given(values=values_lists, ranges=range_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_lift_oracle(self, fn, values, ranges):
+        starts, ends = ranges
+        total = max(ends) if ends else 0
+        if len(values) < total:
+            values = (values * (total // len(values) + 1))[:total]
+        batch = value_batch(values)
+        oracle = [fn.lift(batch.slice_range(s, e))
+                  for s, e in zip(starts, ends)]
+        vectorized = fn.lift_ranges(batch, starts, ends)
+        assert partial_key(vectorized) == partial_key(oracle)
+
+    @pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: f.name)
+    def test_equal_width_contiguous_fast_path(self, fn):
+        rng = np.random.default_rng(3)
+        batch = value_batch(rng.uniform(-1e3, 1e3, 64))
+        starts = [i * 8 for i in range(8)]
+        ends = [(i + 1) * 8 for i in range(8)]
+        assert equal_width_rows(batch, starts, ends) is not None
+        oracle = [fn.lift(batch.slice_range(s, e))
+                  for s, e in zip(starts, ends)]
+        assert partial_key(fn.lift_ranges(batch, starts, ends)) == \
+            partial_key(oracle)
+
+    def test_rows_helper_rejects_ragged_and_gapped(self):
+        batch = value_batch(np.arange(20.0))
+        assert equal_width_rows(batch, [0, 5], [5, 12]) is None   # ragged
+        assert equal_width_rows(batch, [0, 6], [5, 11]) is None   # gapped
+        assert equal_width_rows(batch, [0, 5], [0, 5]) is None    # empty
+        assert equal_width_rows(batch, [], []) is None
+        rows = equal_width_rows(batch, [0, 5, 10], [5, 10, 15])
+        assert rows is not None and rows.shape == (3, 5)
+        assert np.shares_memory(rows, batch.values)
+
+
+def partial_key(partials):
+    """Bit-exact comparison key for a list of lifted partials."""
+    out = []
+    for p in partials:
+        if isinstance(p, np.ndarray):
+            out.append((str(p.dtype), p.tobytes()))
+        elif isinstance(p, float):
+            out.append(np.float64(p).tobytes())
+        elif isinstance(p, tuple):
+            out.append((type(p).__name__, partial_key(list(p))))
+        else:
+            out.append(p)
+    return out

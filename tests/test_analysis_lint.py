@@ -33,7 +33,7 @@ class TestFramework:
         rule_codes = [r.code for r in all_rules()]
         assert rule_codes == sorted(rule_codes)
         assert rule_codes == ["DL001", "DL002", "DL003", "DL004",
-                              "DL005"]
+                              "DL005", "DL006"]
 
     def test_every_rule_has_docs(self):
         for rule in all_rules():
@@ -291,6 +291,57 @@ class TestDL005SharedMutableState:
         assert codes(lint_source(src, METRICS_PATH)) == ["DL005"]
 
 
+class TestDL006WireSizeArithmetic:
+    def test_size_table_arithmetic_fires(self):
+        src = ("from repro.sim.serialization import EVENT_BYTES\n"
+               "def size(fmt, n):\n"
+               "    return n * EVENT_BYTES[fmt]\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL006"]
+
+    def test_layout_constant_arithmetic_fires(self):
+        src = ("from repro.wire.format import WIRE_HEADER_BYTES\n"
+               "def overhead(msgs):\n"
+               "    return msgs * WIRE_HEADER_BYTES + 8\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL006"]
+
+    def test_attribute_access_arithmetic_fires(self):
+        src = ("import repro.sim.serialization as ser\n"
+               "x = 3 * ser.SCALAR_BYTES\n")
+        assert codes(lint_source(src, SIM_PATH)) == ["DL006"]
+
+    def test_one_finding_per_formula(self):
+        src = ("from repro.wire.format import (WIRE_EVENT_BYTES,\n"
+               "                               WIRE_HEADER_BYTES)\n"
+               "total = WIRE_HEADER_BYTES + 24 * WIRE_EVENT_BYTES\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL006"]
+
+    def test_wire_layer_is_exempt(self):
+        src = ("WIRE_HEADER_BYTES = 32\n"
+               "def frame_size(n):\n"
+               "    return WIRE_HEADER_BYTES + 24 * n\n")
+        assert lint_source(src, "src/repro/wire/format.py") == []
+        assert lint_source(src,
+                           "src/repro/sim/serialization.py") == []
+
+    def test_fires_in_out_of_package_scripts(self):
+        src = ("from repro.sim.serialization import EVENT_BYTES\n"
+               "from repro.sim.serialization import WireFormat\n"
+               "x = 3 * EVENT_BYTES[WireFormat.BINARY]\n")
+        assert codes(lint_source(src, SCRIPT_PATH)) == ["DL006"]
+
+    def test_plain_reads_pass(self):
+        src = ("from repro.sim.serialization import EVENT_BYTES\n"
+               "def lookup(fmt):\n"
+               "    return EVENT_BYTES[fmt]\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_sizeof_message_calls_pass(self):
+        src = ("from repro.core.protocol import sizeof_message\n"
+               "def cost(msgs, fmt):\n"
+               "    return sum(sizeof_message(m, fmt) for m in msgs)\n")
+        assert lint_source(src, CORE_PATH) == []
+
+
 class TestShippedTreeIsClean:
     """The merged tree must lint clean — the CI gate in miniature."""
 
@@ -327,7 +378,8 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("DL001", "DL002", "DL003", "DL004", "DL005"):
+        for code in ("DL001", "DL002", "DL003", "DL004", "DL005",
+                     "DL006"):
             assert code in out
 
     def test_select_subset(self, tmp_path):

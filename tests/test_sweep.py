@@ -227,17 +227,21 @@ class TestWorkloadCache:
     def test_clear_spill(self, tmp_path):
         cache = WorkloadCache(spill_dir=tmp_path)
         cache.get(self.SPEC)
-        assert list(tmp_path.glob("wl1_*.npz"))
+        assert list(tmp_path.iterdir())
+        # Stale files from older spill generations and crashed writers
+        # are swept too — nothing the cache wrote may leak.
+        (tmp_path / "wl1_deadbeef.npz").write_bytes(b"legacy")
+        (tmp_path / ".wlspill-abc123.wlm").write_bytes(b"crashed")
         cache.clear(spill=True)
-        assert not list(tmp_path.glob("wl1_*.npz"))
+        assert not list(tmp_path.iterdir())
         cache.get(self.SPEC)
         assert cache.generated == 2
 
     def test_ensure_spilled_respills_missing_file(self, tmp_path):
         """Regression: an in-memory LRU hit must not vouch for the
         spill file — ``ensure_spilled`` re-writes it when it has gone
-        missing (e.g. a cleaned tmp dir), since workers will np.load
-        the returned path."""
+        missing (e.g. a cleaned tmp dir), since workers will map the
+        returned path."""
         cache = WorkloadCache(spill_dir=tmp_path)
         workload = cache.get(self.SPEC)  # generates + spills + caches
         path = cache.path(self.SPEC)
@@ -247,7 +251,7 @@ class TestWorkloadCache:
         assert returned == path
         assert path.exists(), \
             "ensure_spilled returned a path with no file behind it"
-        reloaded = load_workload(path)
+        reloaded = wl.load_spilled(path)
         assert all(a == b for a, b in zip(reloaded.streams,
                                           workload.streams,
                                           strict=True))
@@ -273,13 +277,13 @@ class TestWorkerMemoLRU:
         monkeypatch.setattr(sweep_mod, "_WORKER_WORKLOADS",
                             OrderedDict())
         loads = {}
-        real = sweep_mod.load_workload
+        real = sweep_mod.load_spilled
 
         def counting(path):
             loads[path] = loads.get(path, 0) + 1
             return real(path)
 
-        monkeypatch.setattr(sweep_mod, "load_workload", counting)
+        monkeypatch.setattr(sweep_mod, "load_spilled", counting)
         cache = WorkloadCache(spill_dir=tmp_path / "c", capacity=8)
         kwargs = dict(n_nodes=1, window_size=300, n_windows=2,
                       rate_per_node=5_000.0)

@@ -1,0 +1,400 @@
+"""Wire-codec round-trip, corruption, zero-copy and A/B identity tests.
+
+Every protocol message must survive ``encode_message`` →
+``decode_message`` bit-exactly (Hypothesis drives the field space,
+including empty batches, NaN/±inf values and int64 extremes), every
+frame's length must equal the structural size model, decoded columns
+must be views over the received buffer, damaged frames must raise
+:class:`StreamError`, and — the acceptance gate — every scheme's
+determinism fingerprint must be invariant under ``REPRO_WIRE_CODEC``.
+"""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.algebraic import Moments, SumCount
+from repro.analysis.determinism import Fingerprint
+from repro.core.protocol import (CorrectionReport, CorrectionRequest,
+                                 FrontBuffer, LocalWindowReport,
+                                 RateReport, RawEvents, ResendRequest,
+                                 SourceBatch, StartWindow,
+                                 WindowAssignment, sizeof_message)
+from repro.core.runner import RunConfig, run_scheme
+from repro.errors import StreamError
+from repro.sim.serialization import WireFormat
+from repro.streams.batch import EventBatch
+from repro.wire.codec import (WIRE_ENV_VAR, MessageCodec, decode_batch,
+                              encode_batch, wire_codec_enabled_default)
+from repro.wire.format import (WIRE_HEADER_BYTES, decode_partial,
+                               encode_partial, partial_wire_slots)
+
+I64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+SMALL_I = st.integers(min_value=-10, max_value=10 ** 12)
+FLOATS = st.floats(allow_nan=True, allow_infinity=True, width=64)
+SENDERS = st.sampled_from(["root", "local-0", "local-1", "local-17"])
+
+
+@st.composite
+def batches(draw, max_size=12):
+    n = draw(st.integers(min_value=0, max_value=max_size))
+    ids = draw(st.lists(I64, min_size=n, max_size=n))
+    values = draw(st.lists(FLOATS, min_size=n, max_size=n))
+    ts = draw(st.lists(I64, min_size=n, max_size=n))
+    if n == 0:
+        return EventBatch.empty()
+    return EventBatch(np.array(ids, np.int64),
+                      np.array(values, np.float64),
+                      np.array(ts, np.int64))
+
+
+#: Every shape a scheme actually ships as a partial aggregate: nothing
+#: (holistic raw-forwarding), floats/ints (distributive), the registered
+#: named tuples (algebraic), plain tuples, and 1-d numpy columns.
+partials = st.one_of(
+    st.none(),
+    FLOATS,
+    I64,
+    st.builds(SumCount, FLOATS, I64),
+    st.builds(Moments, I64, FLOATS, FLOATS),
+    st.tuples(FLOATS, I64),
+    st.lists(FLOATS, max_size=6).map(lambda v: np.array(v, np.float64)),
+    st.lists(I64, max_size=6).map(lambda v: np.array(v, np.int64)),
+)
+
+
+@st.composite
+def messages(draw):
+    """One arbitrary protocol message of any wire-framed type."""
+    sender = draw(SENDERS)
+    kind = draw(st.integers(min_value=0, max_value=9))
+    if kind == 0:
+        return SourceBatch(sender=sender, events=draw(batches()))
+    if kind == 1:
+        return RawEvents(sender=sender, window_index=draw(SMALL_I),
+                         events=draw(batches()), start=draw(SMALL_I))
+    if kind == 2:
+        return ResendRequest(sender=sender, from_position=draw(I64))
+    if kind == 3:
+        return RateReport(sender=sender, window_index=draw(SMALL_I),
+                          event_rate=draw(FLOATS),
+                          events_seen=draw(SMALL_I))
+    if kind == 4:
+        return LocalWindowReport(
+            sender=sender, window_index=draw(SMALL_I),
+            epoch=draw(SMALL_I), partial=draw(partials),
+            slice_count=draw(SMALL_I), event_rate=draw(FLOATS),
+            buffer=draw(batches()),
+            fbuffer=draw(st.none() | batches(max_size=5)),
+            ebuffer=draw(st.none() | batches(max_size=5)),
+            spec_start=draw(I64), slice_start=draw(I64),
+            first_ts=draw(I64), last_ts=draw(I64))
+    if kind == 5:
+        return FrontBuffer(sender=sender, window_index=draw(SMALL_I),
+                           epoch=draw(SMALL_I), spec_start=draw(I64),
+                           events=draw(batches()))
+    if kind == 6:
+        return CorrectionReport(sender=sender, window_index=draw(SMALL_I),
+                                epoch=draw(SMALL_I),
+                                partial=draw(partials),
+                                count=draw(SMALL_I),
+                                last_event=draw(batches(max_size=2)))
+    if kind == 7:
+        return WindowAssignment(sender=sender, window_index=draw(SMALL_I),
+                                epoch=draw(SMALL_I),
+                                predicted_size=draw(I64),
+                                delta=draw(I64),
+                                start_position=draw(I64),
+                                release_before=draw(I64),
+                                watermark=draw(I64))
+    if kind == 8:
+        return CorrectionRequest(sender=sender, window_index=draw(SMALL_I),
+                                 epoch=draw(SMALL_I),
+                                 actual_size=draw(I64),
+                                 start_position=draw(I64),
+                                 watermark=draw(I64))
+    return StartWindow(sender=sender, window_index=draw(SMALL_I),
+                       epoch=draw(SMALL_I), watermark=draw(I64))
+
+
+def batch_bits(batch):
+    return (batch.ids.tobytes(), batch.values.tobytes(),
+            batch.ts.tobytes())
+
+
+def opt_batch_bits(batch):
+    return None if batch is None else batch_bits(batch)
+
+
+def partial_bits(p):
+    """Bit-exact comparison key for a partial (NaN-safe)."""
+    if p is None:
+        return None
+    if isinstance(p, float):
+        return ("f", struct.pack("<d", p))
+    if isinstance(p, (int, np.integer)):
+        return ("i", int(p))
+    if isinstance(p, np.ndarray):
+        return ("a", str(p.dtype), p.tobytes())
+    if isinstance(p, tuple):
+        return (type(p).__name__, tuple(partial_bits(x) for x in p))
+    raise AssertionError(f"unexpected partial {p!r}")
+
+
+def message_bits(msg):
+    """Every field of a message, bit-exact and NaN-safe."""
+    out = [type(msg).__name__, msg.sender]
+    for name in msg.__dataclass_fields__:
+        if name == "sender":
+            continue
+        value = getattr(msg, name)
+        if name == "partial":
+            out.append(partial_bits(value))
+        elif isinstance(value, EventBatch):
+            out.append(batch_bits(value))
+        elif value is None:
+            out.append(None)
+        elif isinstance(value, float):
+            out.append(struct.pack("<d", value))
+        else:
+            out.append(int(value))
+    return tuple(out)
+
+
+class TestMessageRoundTrip:
+    @given(msg=messages())
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_bit_exact(self, msg):
+        codec = MessageCodec()
+        frame = codec.encode_message(msg)
+        decoded = codec.decode_message(frame)
+        assert type(decoded) is type(msg)
+        assert message_bits(decoded) == message_bits(msg)
+
+    @given(msg=messages())
+    @settings(max_examples=200, deadline=None)
+    def test_frame_length_equals_size_model(self, msg):
+        """The tentpole contract: the structural size model IS the
+        frame length, for every message, bit for bit."""
+        codec = MessageCodec()
+        frame = codec.encode_message(msg)
+        if isinstance(msg, SourceBatch):
+            # Modelled free (generator is co-located), still framed.
+            assert sizeof_message(msg, WireFormat.BINARY) == 0
+        else:
+            assert len(frame) == sizeof_message(msg, WireFormat.BINARY)
+
+    @given(msg=messages())
+    @settings(max_examples=50, deadline=None)
+    def test_reencode_is_stable(self, msg):
+        codec = MessageCodec()
+        frame = codec.encode_message(msg)
+        again = codec.encode_message(codec.decode_message(frame))
+        assert again == frame
+
+    def test_absent_vs_empty_optional_buffers(self):
+        codec = MessageCodec()
+        for fbuffer in (None, EventBatch.empty()):
+            msg = LocalWindowReport(
+                sender="local-0", window_index=1, epoch=0, partial=1.5,
+                slice_count=0, event_rate=10.0, fbuffer=fbuffer)
+            decoded = codec.decode_message(codec.encode_message(msg))
+            if fbuffer is None:
+                assert decoded.fbuffer is None
+            else:
+                assert decoded.fbuffer is not None
+                assert len(decoded.fbuffer) == 0
+
+    def test_unknown_sender_id_rejected(self):
+        codec = MessageCodec()
+        frame = codec.encode_message(
+            StartWindow(sender="root", window_index=0, epoch=0))
+        with pytest.raises(StreamError, match="sender"):
+            MessageCodec().decode_message(frame)
+
+
+class TestBatchFrames:
+    @given(batch=batches(max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, batch):
+        decoded = decode_batch(encode_batch(batch))
+        assert batch_bits(decoded) == batch_bits(batch)
+
+    def test_empty_batch(self):
+        frame = encode_batch(EventBatch.empty())
+        assert len(frame) == WIRE_HEADER_BYTES
+        assert len(decode_batch(frame)) == 0
+
+    def test_zero_copy_views(self):
+        """Regression: decode must NOT copy the event columns."""
+        batch = EventBatch(np.arange(64), np.linspace(0, 1, 64),
+                           np.arange(64))
+        frame = encode_batch(batch)
+        decoded = decode_batch(frame)
+        backing = np.frombuffer(frame, np.uint8)
+        for col in (decoded.ids, decoded.values, decoded.ts):
+            assert np.shares_memory(col, backing)
+            assert not col.flags.writeable
+
+    def test_batch_frame_is_not_a_message(self):
+        with pytest.raises(StreamError, match="frame type"):
+            MessageCodec().decode_message(
+                encode_batch(EventBatch.empty()))
+
+    def test_message_frame_is_not_a_batch(self):
+        codec = MessageCodec()
+        frame = codec.encode_message(
+            StartWindow(sender="root", window_index=0, epoch=0))
+        with pytest.raises(StreamError, match="batch frame"):
+            decode_batch(frame)
+
+
+class TestCorruption:
+    def frame(self):
+        codec = MessageCodec()
+        msg = RawEvents(sender="local-0", window_index=3,
+                        events=EventBatch(np.arange(4),
+                                          np.ones(4), np.arange(4)),
+                        start=0)
+        return codec, codec.encode_message(msg)
+
+    def test_every_truncation_rejected(self):
+        codec, frame = self.frame()
+        for cut in range(len(frame)):
+            with pytest.raises(StreamError):
+                codec.decode_message(frame[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        codec, frame = self.frame()
+        with pytest.raises(StreamError):
+            codec.decode_message(frame + b"\x00")
+
+    def test_payload_bitflip_rejected_by_crc(self):
+        codec, frame = self.frame()
+        for at in range(WIRE_HEADER_BYTES, len(frame), 7):
+            damaged = bytearray(frame)
+            damaged[at] ^= 0x40
+            with pytest.raises(StreamError):
+                codec.decode_message(bytes(damaged))
+
+    def test_bad_magic_rejected(self):
+        codec, frame = self.frame()
+        with pytest.raises(StreamError, match="magic"):
+            codec.decode_message(b"XX" + frame[2:])
+
+    def test_bad_version_rejected(self):
+        codec, frame = self.frame()
+        damaged = bytearray(frame)
+        damaged[2] = 99
+        with pytest.raises(StreamError, match="version"):
+            codec.decode_message(bytes(damaged))
+
+    def test_lying_event_count_rejected(self):
+        codec, frame = self.frame()
+        damaged = bytearray(frame)
+        struct.pack_into("<q", damaged, 12, 9999)  # n_events slot
+        with pytest.raises(StreamError):
+            codec.decode_message(bytes(damaged))
+
+    def test_truncated_partial_descriptor(self):
+        view = memoryview(b"\x00" * 4)
+        with pytest.raises(StreamError, match="truncated"):
+            decode_partial(view, 0, 4)
+
+    def test_partial_slot_model_matches_encoding(self):
+        for p in (None, 1.5, 7, SumCount(2.0, 3),
+                  Moments(2, 1.0, 0.5), (1.0, 2),
+                  np.arange(4, dtype=np.float64)):
+            out = bytearray()
+            encode_partial(p, out)
+            assert len(out) == 8 * partial_wire_slots(p)
+
+    def test_unencodable_partial_rejected(self):
+        with pytest.raises(StreamError, match="register"):
+            encode_partial({"not": "wire-safe"}, bytearray())
+        with pytest.raises(StreamError, match="1-d"):
+            partial_wire_slots(np.zeros((2, 2)))
+
+
+#: Everything the runner registers, including the ablation variant.
+FINGERPRINT_SCHEMES = ("central", "scotty", "disco", "approx",
+                       "deco_mon", "deco_sync", "deco_async",
+                       "deco_monlocal")
+
+TINY = dict(n_nodes=2, window_size=800, n_windows=3,
+            rate_per_node=20_000.0, rate_change=0.05)
+
+
+class TestSchemeBitIdentity:
+    @pytest.mark.parametrize("scheme", FINGERPRINT_SCHEMES)
+    def test_fingerprint_invariant_under_codec_toggle(self, scheme,
+                                                      monkeypatch):
+        """The acceptance gate: window results, spans, flows, bytes and
+        message counts are bit-identical with the real binary codec on
+        the message path (REPRO_WIRE_CODEC=1) or off (=0)."""
+        def fingerprint(env_value):
+            monkeypatch.setenv(WIRE_ENV_VAR, env_value)
+            result, _ = run_scheme(RunConfig(scheme=scheme, **TINY))
+            return Fingerprint.of(result)
+
+        on, off = fingerprint("1"), fingerprint("0")
+        assert on == off, "\n".join(on.diff(off))
+
+    def test_env_flag_parsing(self, monkeypatch):
+        for raw, expected in (("1", True), ("", True), ("yes", True),
+                              ("0", False), ("false", False),
+                              ("off", False), ("No", False)):
+            monkeypatch.setenv(WIRE_ENV_VAR, raw)
+            assert wire_codec_enabled_default() is expected
+        monkeypatch.delenv(WIRE_ENV_VAR)
+        assert wire_codec_enabled_default() is True
+
+
+class TestSizeModelDerivation:
+    def test_string_format_triples_binary(self):
+        msg = RateReport(sender="local-0", window_index=1,
+                         event_rate=5.0, events_seen=100)
+        assert sizeof_message(msg, WireFormat.STRING) == \
+            3 * sizeof_message(msg, WireFormat.BINARY)
+
+    def test_disco_codec_keeps_string_size_model(self):
+        codec = MessageCodec(WireFormat.STRING)
+        assert not codec.sizes_from_frames
+        msg = StartWindow(sender="root", window_index=0, epoch=0)
+        # Frames still round-trip for delivery even when sized by model.
+        decoded = codec.decode_message(codec.encode_message(msg))
+        assert decoded == msg
+
+    def test_codec_host_stats(self):
+        codec = MessageCodec()
+        msg = StartWindow(sender="root", window_index=0, epoch=0)
+        frame = codec.encode_message(msg)
+        assert codec.frames_encoded == 1
+        assert codec.bytes_framed == len(frame)
+
+
+class TestValueFidelity:
+    def test_nan_and_inf_values_roundtrip(self):
+        codec = MessageCodec()
+        batch = EventBatch(np.arange(3),
+                           np.array([math.nan, math.inf, -math.inf]),
+                           np.arange(3))
+        msg = RawEvents(sender="local-0", window_index=0, events=batch)
+        decoded = codec.decode_message(codec.encode_message(msg))
+        assert batch_bits(decoded.events) == batch_bits(batch)
+
+    def test_int64_extremes_roundtrip(self):
+        codec = MessageCodec()
+        lo, hi = -(2 ** 63), 2 ** 63 - 1
+        batch = EventBatch(np.array([lo, hi]), np.zeros(2),
+                           np.array([hi, lo]))
+        msg = FrontBuffer(sender="local-1", window_index=hi, epoch=0,
+                          spec_start=lo, events=batch)
+        decoded = codec.decode_message(codec.encode_message(msg))
+        assert decoded.window_index == hi
+        assert decoded.spec_start == lo
+        assert batch_bits(decoded.events) == batch_bits(batch)

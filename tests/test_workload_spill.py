@@ -1,0 +1,167 @@
+"""Memory-mapped ``.wlm`` spill container: round-trip and corruption.
+
+The container must round-trip workloads bit-exactly, hand back
+zero-copy views over one shared ``np.memmap``, refuse corrupted or
+truncated files with :class:`StreamError`, and dispatch correctly from
+:func:`load_spilled` next to the legacy ``.npz`` format.
+"""
+
+import fnmatch
+
+import numpy as np
+import pytest
+
+import repro.core.workload as wl
+from repro.errors import StreamError
+from repro.streams.batch import EventBatch
+
+
+@pytest.fixture
+def workload():
+    return wl.generate_workload(n_nodes=3, window_size=50, n_windows=4,
+                                rate_per_node=5_000.0, seed=11)
+
+
+def workload_bits(workload):
+    return (
+        workload.window_size, workload.n_windows,
+        tuple((s.ids.tobytes(), s.values.tobytes(), s.ts.tobytes())
+              for s in workload.streams),
+        workload.bounds.tobytes(), workload.boundary_ts.tobytes())
+
+
+class TestRoundTrip:
+    def test_mmap_roundtrip_bit_exact(self, tmp_path, workload):
+        path = tmp_path / "w.wlm"
+        wl.save_workload_mmap(path, workload)
+        assert workload_bits(wl.load_workload_mmap(path)) == \
+            workload_bits(workload)
+
+    def test_matches_npz_format_bit_for_bit(self, tmp_path, workload):
+        npz, wlm = tmp_path / "w.npz", tmp_path / "w.wlm"
+        wl.save_workload(npz, workload)
+        wl.save_workload_mmap(wlm, workload)
+        assert workload_bits(wl.load_spilled(npz)) == \
+            workload_bits(wl.load_spilled(wlm))
+
+    def test_load_spilled_dispatches_on_suffix(self, tmp_path, workload):
+        npz, wlm = tmp_path / "w.npz", tmp_path / "w.wlm"
+        wl.save_workload(npz, workload)
+        wl.save_workload_mmap(wlm, workload)
+        # .npz loads through the archive reader, .wlm through the map.
+        assert not isinstance(wl.load_spilled(npz).streams[0].ids.base,
+                              np.memmap)
+        loaded = wl.load_spilled(wlm)
+        assert isinstance(loaded.streams[0].ids.base, np.memmap)
+
+    def test_streams_are_views_over_one_map(self, tmp_path, workload):
+        path = tmp_path / "w.wlm"
+        wl.save_workload_mmap(path, workload)
+        loaded = wl.load_workload_mmap(path)
+        mm = loaded.streams[0].ids.base
+        for stream in loaded.streams:
+            for col in (stream.ids, stream.values, stream.ts):
+                assert col.base is mm
+                assert np.shares_memory(col, mm)
+        assert loaded.bounds.base is mm
+
+    def test_offsets_are_aligned(self, tmp_path, workload):
+        path = tmp_path / "w.wlm"
+        wl.save_workload_mmap(path, workload)
+        loaded = wl.load_workload_mmap(path)
+        for stream in loaded.streams:
+            for col in (stream.ids, stream.values, stream.ts):
+                assert col.ctypes.data % wl._WLM_ALIGN == 0
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path, workload):
+        wl.save_workload_mmap(tmp_path / "w.wlm", workload)
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {"w.wlm"}
+
+
+class TestCorruption:
+    def spill(self, tmp_path, workload):
+        path = tmp_path / "w.wlm"
+        wl.save_workload_mmap(path, workload)
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StreamError, match="unreadable"):
+            wl.load_workload_mmap(tmp_path / "nope.wlm")
+
+    def test_bad_magic(self, tmp_path, workload):
+        path = self.spill(tmp_path, workload)
+        data = bytearray(path.read_bytes())
+        data[:4] = b"XXXX"
+        path.write_bytes(bytes(data))
+        with pytest.raises(StreamError, match="magic"):
+            wl.load_workload_mmap(path)
+
+    def test_bad_version(self, tmp_path, workload):
+        path = self.spill(tmp_path, workload)
+        data = path.read_bytes()
+        header_len = int.from_bytes(data[4:8], "little")
+        header = data[8:8 + header_len].replace(
+            b'"version": 1', b'"version": 9')
+        path.write_bytes(data[:8] + header + data[8 + header_len:])
+        with pytest.raises(StreamError, match="version"):
+            wl.load_workload_mmap(path)
+
+    def test_corrupt_header_json(self, tmp_path, workload):
+        path = self.spill(tmp_path, workload)
+        data = bytearray(path.read_bytes())
+        data[10] = ord("!")
+        path.write_bytes(bytes(data))
+        with pytest.raises(StreamError, match="corrupt"):
+            wl.load_workload_mmap(path)
+
+    def test_truncated_payload(self, tmp_path, workload):
+        path = self.spill(tmp_path, workload)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        with pytest.raises(StreamError):
+            wl.load_workload_mmap(path)
+
+    def test_truncated_header(self, tmp_path, workload):
+        path = self.spill(tmp_path, workload)
+        path.write_bytes(path.read_bytes()[:6])
+        with pytest.raises(StreamError, match="truncated"):
+            wl.load_workload_mmap(path)
+
+
+class TestSpillHygiene:
+    def test_spill_filename_single_authority(self):
+        name = wl.spill_filename("abc123")
+        assert name == \
+            f"wl{wl.SPILL_FORMAT_VERSION}_abc123{wl.SPILL_SUFFIX}"
+        # Every sweep glob matches what the naming authority produces.
+        assert any(fnmatch.fnmatch(name, pattern)
+                   for pattern in wl._SPILL_GLOBS)
+
+    def test_cache_writes_current_format(self, tmp_path):
+        cache = wl.WorkloadCache(spill_dir=tmp_path)
+        spec = wl.WorkloadSpec(n_nodes=2, window_size=30, n_windows=2,
+                               rate_per_node=2_000.0)
+        cache.get(spec)
+        (spill,) = tmp_path.iterdir()
+        assert spill.name == wl.spill_filename(spec.key())
+        assert spill.suffix == wl.SPILL_SUFFIX
+
+    def test_spill_hit_loads_mmap(self, tmp_path):
+        spec = wl.WorkloadSpec(n_nodes=2, window_size=30, n_windows=2,
+                               rate_per_node=2_000.0)
+        first = wl.WorkloadCache(spill_dir=tmp_path)
+        direct = first.get(spec)
+        second = wl.WorkloadCache(spill_dir=tmp_path)
+        loaded = second.get(spec)
+        assert second.spill_hits == 1 and second.generated == 0
+        assert workload_bits(loaded) == workload_bits(direct)
+
+    def test_clear_sweeps_all_generations(self, tmp_path):
+        cache = wl.WorkloadCache(spill_dir=tmp_path)
+        cache.get(wl.WorkloadSpec(n_nodes=2, window_size=30,
+                                  n_windows=2, rate_per_node=2_000.0))
+        (tmp_path / "wl1_deadbeef.npz").write_bytes(b"legacy")
+        (tmp_path / f"{wl._TMP_PREFIX}crashed.wlm").write_bytes(b"tmp")
+        cache.clear(spill=True)
+        assert not list(tmp_path.iterdir())
