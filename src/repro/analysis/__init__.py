@@ -4,7 +4,7 @@ Three enforcement layers for the reproduction's core invariant (every
 run is a single-threaded, reproducible computation):
 
 * :mod:`repro.analysis.lint` / :mod:`repro.analysis.rules` — deco-lint,
-  the repo-specific AST rules (DL001-DL005) run by ``repro lint`` and
+  the repo-specific AST rules (DL001-DL007) run by ``repro lint`` and
   CI.
 * :mod:`repro.analysis.determinism` — the schedule-determinism harness:
   re-runs a config under permuted kernel tie-break salts and asserts

@@ -1,4 +1,4 @@
-"""The deco-lint rule set (DL001-DL006).
+"""The deco-lint rule set (DL001-DL007).
 
 Each rule encodes one clause of the simulator's determinism contract
 (see DESIGN.md section 8).  All rules are purely syntactic/AST-based —
@@ -12,6 +12,7 @@ DL003  no float ``==`` / ``!=`` in metrics and aggregates
 DL004  tracer hot-path calls must be guarded by ``.enabled``
 DL005  no mutable default arguments; no mutated module-level state
 DL006  no wire-size constant arithmetic outside the wire layer
+DL007  no direct repro.sim imports from the protocol core
 """
 
 from __future__ import annotations
@@ -22,7 +23,8 @@ from collections.abc import Iterable
 from repro.analysis.lint import FileContext, Finding, LintRule
 
 #: The packages whose execution happens *inside* a simulated run.
-SIM_SCOPE = ("repro/sim", "repro/core", "repro/baselines")
+SIM_SCOPE = ("repro/sim", "repro/core", "repro/baselines",
+             "repro/runtime")
 
 
 def _dotted(node: ast.AST) -> str | None:
@@ -558,8 +560,10 @@ class NoWireSizeArithmetic(LintRule):
     })
 
     #: Package paths allowed to do layout arithmetic: the layout's
-    #: single source of truth and the size model derived from it.
-    EXEMPT = ("repro/wire", "repro/sim/serialization")
+    #: single source of truth and the size model derived from it
+    #: (``repro/sim/serialization`` is its back-compat shim).
+    EXEMPT = ("repro/wire", "repro/runtime/serialization",
+              "repro/sim/serialization")
 
     def applies_to(self, ctx: FileContext) -> bool:
         if ctx.in_package():
@@ -599,6 +603,88 @@ class NoWireSizeArithmetic(LintRule):
         return None
 
 
+class NoSimImportsInProtocolCore(LintRule):
+    """DL007: the protocol core must not import the simulator directly.
+
+    The scheme behaviours (``repro/core``) and baselines
+    (``repro/baselines``) are written against the runtime driver
+    interface (:mod:`repro.runtime`) so that one protocol
+    implementation runs unchanged on both drivers — the discrete-event
+    simulator and the :mod:`repro.serve` process runtime.  A direct
+    ``repro.sim`` import punches through that boundary: code gains
+    access to simulator-only machinery (the kernel, the fabric, crash
+    hooks) that has no serve-side equivalent, and the next serve run
+    diverges from the oracle.  Import the equivalent name from
+    :mod:`repro.runtime` instead; driver-specific glue belongs in
+    :mod:`repro.runtime.driver`.
+
+    Imports inside ``if TYPE_CHECKING:`` blocks are exempt: annotation
+    -only names never execute, so they cannot couple protocol code to
+    simulator behaviour.
+    """
+
+    code = "DL007"
+    name = "no-sim-import-in-protocol-core"
+    summary = ("repro.core/repro.baselines must import the runtime "
+               "driver interface, never repro.sim directly")
+    scope = ("repro/core", "repro/baselines")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Unlike the determinism rules, the boundary only exists for
+        # in-package protocol code; scripts and tests drive the
+        # simulator on purpose.
+        if not ctx.in_package():
+            return False
+        pkg = ctx.package_path()
+        return any(pkg.startswith(prefix) for prefix in self.scope)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        yield from self._visit(ctx, ctx.tree)
+
+    def _visit(self, ctx: FileContext, root: ast.AST
+               ) -> Iterable[Finding]:
+        for node in ast.iter_child_nodes(root):
+            if isinstance(node, ast.If) and self._is_type_checking(
+                    node.test):
+                # Annotation-only imports: check the else branch but
+                # skip the guarded body.
+                for sub in node.orelse:
+                    yield from self._visit(ctx, sub)
+                    yield from self._check_import(ctx, sub)
+                continue
+            yield from self._check_import(ctx, node)
+            yield from self._visit(ctx, node)
+
+    @staticmethod
+    def _is_type_checking(test: ast.AST) -> bool:
+        return ((isinstance(test, ast.Name)
+                 and test.id == "TYPE_CHECKING")
+                or (isinstance(test, ast.Attribute)
+                    and test.attr == "TYPE_CHECKING"))
+
+    def _check_import(self, ctx: FileContext, node: ast.AST
+                      ) -> Iterable[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "repro.sim" or module.startswith(
+                    "repro.sim."):
+                yield self.finding(
+                    ctx, node,
+                    f"direct import of `{module}` from the "
+                    f"protocol core; use the runtime driver "
+                    f"interface (repro.runtime) instead")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if (alias.name == "repro.sim"
+                        or alias.name.startswith("repro.sim.")):
+                    yield self.finding(
+                        ctx, node,
+                        f"direct import of `{alias.name}` from "
+                        f"the protocol core; use the runtime "
+                        f"driver interface (repro.runtime) "
+                        f"instead")
+
+
 #: Registered rules, in code order.
 DEFAULT_RULES: tuple[type, ...] = (
     NoWallClockOrUnseededRandom,
@@ -607,4 +693,5 @@ DEFAULT_RULES: tuple[type, ...] = (
     GuardedTracerCalls,
     NoSharedMutableState,
     NoWireSizeArithmetic,
+    NoSimImportsInProtocolCore,
 )

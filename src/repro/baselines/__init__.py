@@ -6,7 +6,7 @@ from repro.baselines.disco import (DiscoLocal, DiscoRoot,
                                    single_threaded)
 from repro.baselines.scotty import ScottyLocal, ScottyRoot
 from repro.core.runner import SchemeSpec, register_scheme
-from repro.sim.serialization import WireFormat
+from repro.runtime.serialization import WireFormat
 
 CENTRAL = register_scheme(SchemeSpec(
     name="central", root_cls=CentralRoot, local_cls=CentralLocal))

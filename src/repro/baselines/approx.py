@@ -19,7 +19,7 @@ from repro.core.local import LocalBehaviorBase
 from repro.core.protocol import (LocalWindowReport, Message, RawEvents,
                                  SourceBatch, WindowAssignment)
 from repro.core.root import ReportCollector, RootBehaviorBase
-from repro.sim.node import SimNode
+from repro.runtime.node import RuntimeNode
 
 
 class ApproxLocal(LocalBehaviorBase):
@@ -32,7 +32,7 @@ class ApproxLocal(LocalBehaviorBase):
         self._position = None  # start of the window being filled
         self._window = 1
 
-    def service_time(self, node: SimNode, msg: Any) -> float:
+    def service_time(self, node: RuntimeNode, msg: Any) -> float:
         if isinstance(msg, SourceBatch) and self._static_size is None:
             # Initialization phase: buffer for later local use *and*
             # serialize for forwarding.
@@ -49,7 +49,7 @@ class ApproxLocal(LocalBehaviorBase):
             return self.bootstrap_budget(1)
         return super().retention_budget()
 
-    def on_events(self, node: SimNode) -> None:
+    def on_events(self, node: RuntimeNode) -> None:
         if self._static_size is None:
             batch = self.buffer.get_range(self._forwarded, self.available)
             if len(batch):
@@ -59,7 +59,7 @@ class ApproxLocal(LocalBehaviorBase):
             return
         self._drain(node)
 
-    def handle_control(self, node: SimNode, msg: Message) -> None:
+    def handle_control(self, node: RuntimeNode, msg: Message) -> None:
         if isinstance(msg, WindowAssignment):
             # The one-time static assignment: size and window-0 end.
             self._static_size = msg.predicted_size
@@ -67,7 +67,7 @@ class ApproxLocal(LocalBehaviorBase):
             self.buffer.release_before(self._position)
             self._drain(node)
 
-    def _drain(self, node: SimNode) -> None:
+    def _drain(self, node: RuntimeNode) -> None:
         """Emit every complete static local window (single flow, never
         blocks)."""
         while self.available >= self._position + self._static_size:
@@ -95,7 +95,7 @@ class ApproxRoot(RootBehaviorBase):
         #: Static per-node sizes, fixed after window 0.
         self.static_sizes: dict[int, int] = {}
 
-    def service_time(self, node: SimNode, msg: Message) -> float:
+    def service_time(self, node: RuntimeNode, msg: Message) -> float:
         if isinstance(msg, RawEvents) and self.static_sizes:
             # Late initialization forwardings after the static split was
             # broadcast: dequeue and drop, no aggregation.
@@ -104,7 +104,7 @@ class ApproxRoot(RootBehaviorBase):
                     * node.profile.per_event_process_s())
         return super().service_time(node, msg)
 
-    def handle(self, node: SimNode, msg: Message) -> None:
+    def handle(self, node: RuntimeNode, msg: Message) -> None:
         if isinstance(msg, RawEvents):
             if self.static_sizes:
                 return  # late initialization forwardings; dropped
@@ -119,7 +119,7 @@ class ApproxRoot(RootBehaviorBase):
         else:  # pragma: no cover - defensive
             raise TypeError(f"Approx root got {type(msg).__name__}")
 
-    def _try_emit_first(self, node: SimNode) -> None:
+    def _try_emit_first(self, node: RuntimeNode) -> None:
         if self.next_emit != 0:
             return
         spans = self.actual_spans(0)
@@ -145,7 +145,7 @@ class ApproxRoot(RootBehaviorBase):
         self.emit(node, 0, self.fn.lower(partial), spans,
                   up_flows=1, down_flows=1, after=assign)
 
-    def _try_emit_static(self, node: SimNode) -> None:
+    def _try_emit_static(self, node: RuntimeNode) -> None:
         while (0 < self.next_emit < self.ctx.n_windows
                and self.reports.complete(self.next_emit)):
             g = self.next_emit

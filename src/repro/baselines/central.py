@@ -18,7 +18,7 @@ from repro.core.context import SchemeContext
 from repro.core.local import LocalBehaviorBase
 from repro.core.protocol import RawEvents, SourceBatch
 from repro.core.root import RootBehaviorBase
-from repro.sim.node import SimNode
+from repro.runtime.node import RuntimeNode
 
 
 class CentralLocal(LocalBehaviorBase):
@@ -28,14 +28,14 @@ class CentralLocal(LocalBehaviorBase):
         super().__init__(index, ctx)
         self._forwarded = 0
 
-    def service_time(self, node: SimNode, msg: Any) -> float:
+    def service_time(self, node: RuntimeNode, msg: Any) -> float:
         # Forwarding costs serialization, not aggregation.
         if isinstance(msg, SourceBatch):
             return (len(msg.events) * node.profile.per_event_serialize_s()
                     + node.profile.message_overhead_s)
         return node.profile.message_overhead_s
 
-    def on_events(self, node: SimNode) -> None:
+    def on_events(self, node: RuntimeNode) -> None:
         batch = self.buffer.get_range(self._forwarded, self.available)
         if len(batch) == 0:
             return
@@ -60,7 +60,7 @@ class CentralRoot(RootBehaviorBase):
         super().__init__(ctx)
         self.raw = self.new_raw_buffers()
 
-    def handle(self, node: SimNode, msg) -> None:
+    def handle(self, node: RuntimeNode, msg) -> None:
         if not isinstance(msg, RawEvents):  # pragma: no cover - defensive
             raise TypeError(f"Central root got {type(msg).__name__}")
         a = self.node_index(msg.sender)
@@ -73,7 +73,7 @@ class CentralRoot(RootBehaviorBase):
             self.raw[a].end >= self.workload.bounds[window + 1, a]
             for a in range(self.n_nodes))
 
-    def _try_emit(self, node: SimNode) -> None:
+    def _try_emit(self, node: RuntimeNode) -> None:
         while (self.next_emit < self.ctx.n_windows
                and self._window_ready(self.next_emit)):
             g = self.next_emit

@@ -20,7 +20,7 @@ from typing import Any
 
 from repro.baselines.scotty import ScottyLocal, ScottyRoot
 from repro.core.protocol import RawEvents, SourceBatch
-from repro.sim.node import NodeProfile, SimNode
+from repro.runtime.node import NodeProfile, RuntimeNode
 
 #: Extra CPU per event for formatting/parsing decimal strings.
 STRING_CODEC_FACTOR = 0.6
@@ -34,7 +34,7 @@ def single_threaded(profile: NodeProfile) -> NodeProfile:
 class DiscoLocal(ScottyLocal):
     """Forwards raw events as strings from a single thread."""
 
-    def service_time(self, node: SimNode, msg: Any) -> float:
+    def service_time(self, node: RuntimeNode, msg: Any) -> float:
         base = super().service_time(node, msg)
         if isinstance(msg, SourceBatch):
             base += (len(msg.events) * STRING_CODEC_FACTOR
@@ -45,7 +45,7 @@ class DiscoLocal(ScottyLocal):
 class DiscoRoot(ScottyRoot):
     """Single-threaded incremental aggregation over string messages."""
 
-    def service_time(self, node: SimNode, msg: Any) -> float:
+    def service_time(self, node: RuntimeNode, msg: Any) -> float:
         base = super().service_time(node, msg)
         if isinstance(msg, RawEvents):
             base += (len(msg.events) * STRING_CODEC_FACTOR

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.baselines.central import CentralLocal, CentralRoot
 from repro.core.context import SchemeContext
-from repro.sim.node import SimNode
+from repro.runtime.node import RuntimeNode
 from repro.windows.slicer import CountSlicer
 from repro.windows.base import TumblingCountWindow
 
@@ -45,6 +45,6 @@ class ScottyRoot(CentralRoot):
         self.slicer = CountSlicer(
             TumblingCountWindow(ctx.window_size), self.fn)
 
-    def handle(self, node: SimNode, msg) -> None:
+    def handle(self, node: RuntimeNode, msg) -> None:
         self.slicer.add(msg.events)
         super().handle(node, msg)

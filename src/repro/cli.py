@@ -8,8 +8,13 @@ Subcommands:
 * ``experiment`` — regenerate one of the paper's figures.
 * ``trace`` — run one scheme with tracing and write the trace to disk
   (Chrome trace-event JSON for Perfetto, or JSONL).
+* ``serve`` — run one scheme on the serve runtime: every node a real
+  OS process speaking the binary wire codec over TCP, results
+  bit-identical to the simulator, plus wall-clock latency/throughput.
+* ``bench-serve`` — the serve load benchmark; writes
+  ``BENCH_serve.json``.
 * ``lint`` — run deco-lint, the repo-specific static-analysis pass
-  (rules DL001-DL005; see :mod:`repro.analysis`).
+  (rules DL001-DL007; see :mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -121,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default="chrome",
                          help="chrome = trace-event JSON for Perfetto; "
                               "jsonl = one event per line")
+    trace_p.add_argument("--runtime", choices=("sim", "serve"),
+                         default="sim",
+                         help="sim = discrete-event simulator; serve = "
+                              "real node processes over TCP (identical "
+                              "results, real wall-clock spans)")
 
     cmp_p = sub.add_parser("compare",
                            help="run several schemes, same workload")
@@ -136,8 +146,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the sweep (default: "
                             "$REPRO_JOBS, then CPU count; 1 = serial)")
 
+    serve_p = sub.add_parser(
+        "serve", help="run one scheme as real node processes over TCP")
+    serve_p.add_argument("scheme")
+    add_run_args(serve_p)
+    serve_p.add_argument("--verify", action="store_true",
+                         help="also run the simulator and assert the "
+                              "serve fingerprint matches it")
+
+    bench_p = sub.add_parser(
+        "bench-serve",
+        help="serve load benchmark: latency + throughput per scheme; "
+             "writes BENCH_serve.json")
+    bench_p.add_argument("--schemes", default=None,
+                         help="comma-separated scheme list (default: "
+                              "deco_sync,deco_async,central)")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="small workload (also $REPRO_BENCH_QUICK)")
+    bench_p.add_argument("--out", default=None,
+                         help="output path (default: BENCH_serve.json "
+                              "at the repo root)")
+
     lint_p = sub.add_parser(
-        "lint", help="run deco-lint (rules DL001-DL005)")
+        "lint", help="run deco-lint (rules DL001-DL007)")
     lint_p.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories (default: src/repro)")
     lint_p.add_argument("--select", default=None,
@@ -204,8 +235,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "trace":
         from repro.obs import (summary_table, write_chrome_trace,
                                write_jsonl)
-        summary = run(args.scheme, trace=True, **_run_kwargs(args))
-        tracer = summary.trace
+        if args.runtime == "serve":
+            from repro.api import _make_config, _summarize
+            from repro.obs.tracer import RunTracer
+            from repro.serve import run_scheme_served
+            tracer = RunTracer()
+            report = run_scheme_served(
+                _make_config(args.scheme, **_run_kwargs(args)),
+                tracer=tracer)
+            summary = _summarize(
+                _make_config(args.scheme, **_run_kwargs(args)),
+                args.mode, report.result, report.workload)
+        else:
+            summary = run(args.scheme, trace=True, **_run_kwargs(args))
+            tracer = summary.trace
         if args.format == "chrome":
             path = write_chrome_trace(args.out, tracer)
         else:
@@ -219,6 +262,38 @@ def main(argv: list[str] | None = None) -> int:
               f"format={args.format})")
         if args.format == "chrome":
             print("open in https://ui.perfetto.dev (or chrome://tracing)")
+        return 0
+
+    if args.command == "serve":
+        from repro.api import _make_config
+        from repro.serve import run_scheme_served
+        config = _make_config(args.scheme, **_run_kwargs(args))
+        report = run_scheme_served(config)
+        pct = report.latency_percentiles()
+        print(format_table(
+            ["scheme", "windows", "wall s", "throughput ev/s",
+             "p50 ms", "p95 ms", "p99 ms"],
+            [[args.scheme, str(report.result.n_windows),
+              f"{report.wall_seconds:.3f}",
+              format_si(report.throughput_eps, ""),
+              f"{pct['p50_s'] * 1e3:.3f}",
+              f"{pct['p95_s'] * 1e3:.3f}",
+              f"{pct['p99_s'] * 1e3:.3f}"]]))
+        if args.verify:
+            from repro.serve.bench import verify_against_simulator
+            verify_against_simulator(config, report.result)
+            print("verified: serve fingerprint == simulator oracle")
+        return 0
+
+    if args.command == "bench-serve":
+        from pathlib import Path
+
+        from repro.serve.bench import BENCH_SCHEMES, run_bench
+        schemes = (tuple(args.schemes.split(","))
+                   if args.schemes else BENCH_SCHEMES)
+        quick = args.quick or None
+        out = Path(args.out) if args.out else None
+        run_bench(schemes=schemes, quick=quick, out_path=out)
         return 0
 
     if args.command == "compare":

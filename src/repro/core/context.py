@@ -8,7 +8,7 @@ from repro.core.query import Query
 from repro.core.records import RunResult
 from repro.core.workload import Workload
 from repro.obs.tracer import NULL_TRACER
-from repro.sim.serialization import WireFormat
+from repro.runtime.serialization import WireFormat
 
 
 @dataclass

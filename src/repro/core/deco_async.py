@@ -49,7 +49,7 @@ from repro.core.slicing import (AsyncLayout, SyncLayout, async_layout,
 from repro.core.verification import (AsyncGlobalCheck,
                                      async_global_check)
 from repro.obs import events as ev
-from repro.sim.node import SimNode
+from repro.runtime.node import RuntimeNode
 
 #: Windows 0..SYNC_WINDOW-1 bootstrap centrally; window SYNC_WINDOW is
 #: handled sync-style; speculation starts after it.
@@ -94,7 +94,7 @@ class DecoAsyncLocal(LocalBehaviorBase):
             return self.bootstrap_budget(SYNC_WINDOW + 1)
         return super().retention_budget()
 
-    def on_events(self, node: SimNode) -> None:
+    def on_events(self, node: RuntimeNode) -> None:
         if self._bootstrapping:
             self._forward_bootstrap(node)
             return
@@ -102,7 +102,7 @@ class DecoAsyncLocal(LocalBehaviorBase):
         self._try_sync_window(node)
         self._speculate(node)
 
-    def _forward_bootstrap(self, node: SimNode) -> None:
+    def _forward_bootstrap(self, node: RuntimeNode) -> None:
         batch = self.buffer.get_range(self._forwarded, self.available)
         if len(batch):
             self.send_up(node, RawEvents(sender=node.name,
@@ -112,7 +112,7 @@ class DecoAsyncLocal(LocalBehaviorBase):
 
     # -- control -------------------------------------------------------------------
 
-    def handle_control(self, node: SimNode, msg: Message) -> None:
+    def handle_control(self, node: RuntimeNode, msg: Message) -> None:
         if isinstance(msg, WindowAssignment):
             if msg.epoch < self.epoch:
                 return  # stale pre-rollback assignment
@@ -146,7 +146,7 @@ class DecoAsyncLocal(LocalBehaviorBase):
             self._params = None
             tracer = self.ctx.tracer
             if tracer.enabled:
-                tracer.event(ev.STATE, node.sim.now, node.name,
+                tracer.event(ev.STATE, node.now, node.name,
                              transition="rollback",
                              window=msg.window_index, epoch=msg.epoch)
                 tracer.inc("rollbacks", node.name)
@@ -162,7 +162,7 @@ class DecoAsyncLocal(LocalBehaviorBase):
 
     # -- the sync-style window 2 ------------------------------------------------------
 
-    def _try_sync_window(self, node: SimNode) -> None:
+    def _try_sync_window(self, node: RuntimeNode) -> None:
         if self._sync_assignment is None:
             return
         window, start, layout = self._sync_assignment
@@ -184,7 +184,7 @@ class DecoAsyncLocal(LocalBehaviorBase):
 
     # -- speculation (Algorithm 4) ----------------------------------------------------
 
-    def _speculate(self, node: SimNode) -> None:
+    def _speculate(self, node: RuntimeNode) -> None:
         if (self._params is None or self._position < 0
                 or self._correction is not None
                 or self._sync_assignment is not None):
@@ -233,7 +233,7 @@ class DecoAsyncLocal(LocalBehaviorBase):
 
     # -- correction --------------------------------------------------------------------
 
-    def _try_correct(self, node: SimNode) -> None:
+    def _try_correct(self, node: RuntimeNode) -> None:
         if self._correction is None:
             return
         window, start, actual = self._correction
@@ -291,7 +291,7 @@ class DecoAsyncRoot(RootBehaviorBase):
 
     # -- dispatch -------------------------------------------------------------
 
-    def service_time(self, node: SimNode, msg: Message) -> float:
+    def service_time(self, node: RuntimeNode, msg: Message) -> float:
         if isinstance(msg, RawEvents) and self._bootstrap_done:
             # Stale bootstrap forwardings after the switch to
             # decentralized mode: dequeue and drop, no aggregation.
@@ -300,7 +300,7 @@ class DecoAsyncRoot(RootBehaviorBase):
                     * node.profile.per_event_process_s())
         return super().service_time(node, msg)
 
-    def handle(self, node: SimNode, msg: Message) -> None:
+    def handle(self, node: RuntimeNode, msg: Message) -> None:
         if isinstance(msg, RawEvents):
             if self._bootstrap_done:
                 return  # late bootstrap forwardings; dropped
@@ -338,7 +338,7 @@ class DecoAsyncRoot(RootBehaviorBase):
         else:  # pragma: no cover - defensive
             raise TypeError(f"Deco_async root got {type(msg).__name__}")
 
-    def _progress(self, node: SimNode) -> None:
+    def _progress(self, node: RuntimeNode) -> None:
         if self._correcting is not None:
             return
         if self.next_emit == SYNC_WINDOW:
@@ -351,7 +351,7 @@ class DecoAsyncRoot(RootBehaviorBase):
 
     # -- bootstrap (windows 0-1) -------------------------------------------------
 
-    def _try_emit_bootstrap(self, node: SimNode) -> None:
+    def _try_emit_bootstrap(self, node: RuntimeNode) -> None:
         while self.next_emit < min(BOOTSTRAP_WINDOWS,
                                    self.ctx.n_windows):
             g = self.next_emit
@@ -373,7 +373,7 @@ class DecoAsyncRoot(RootBehaviorBase):
 
     # -- window 2, sync-style -----------------------------------------------------
 
-    def _send_sync_assignment(self, node: SimNode) -> None:
+    def _send_sync_assignment(self, node: RuntimeNode) -> None:
         g = self.next_emit
         self._bootstrap_done = True
         if g >= self.ctx.n_windows or g != SYNC_WINDOW:
@@ -391,7 +391,7 @@ class DecoAsyncRoot(RootBehaviorBase):
             release_before=self._sync_assigned[a][0],
             watermark=watermark))
 
-    def _try_verify_sync(self, node: SimNode) -> None:
+    def _try_verify_sync(self, node: RuntimeNode) -> None:
         from repro.core.verification import sync_prediction_ok
         g = SYNC_WINDOW
         if g >= self.ctx.n_windows or not self.reports.complete(g):
@@ -406,7 +406,7 @@ class DecoAsyncRoot(RootBehaviorBase):
             self.result.prediction_errors += 1
             tracer = self.ctx.tracer
             if tracer.enabled:
-                tracer.event(ev.STATE, node.sim.now, node.name,
+                tracer.event(ev.STATE, node.now, node.name,
                              transition="verify_failed", window=g,
                              epoch=self.epoch)
             self._start_correction(node, g)
@@ -431,7 +431,7 @@ class DecoAsyncRoot(RootBehaviorBase):
 
     # -- speculative verification (Algorithm 5) --------------------------------------
 
-    def _send_async_assignment(self, node: SimNode,
+    def _send_async_assignment(self, node: RuntimeNode,
                                first: bool = False) -> None:
         g = self.next_emit
         if g >= self.ctx.n_windows:
@@ -448,7 +448,7 @@ class DecoAsyncRoot(RootBehaviorBase):
                    for a in range(self.n_nodes)}
         tracer = self.ctx.tracer
         if tracer.enabled:
-            tracer.event(ev.STATE, node.sim.now, node.name,
+            tracer.event(ev.STATE, node.now, node.name,
                          transition="predict", window=g,
                          epoch=self.epoch)
         self.broadcast(node, lambda a: WindowAssignment(
@@ -457,7 +457,7 @@ class DecoAsyncRoot(RootBehaviorBase):
             start_position=start_positions[a],
             release_before=release[a], watermark=watermark))
 
-    def _verify_async(self, node: SimNode) -> bool:
+    def _verify_async(self, node: RuntimeNode) -> bool:
         """Verify window ``next_emit``.
 
         Returns False when verification must wait for more reports (the
@@ -504,7 +504,7 @@ class DecoAsyncRoot(RootBehaviorBase):
             self.result.prediction_errors += 1
             tracer = self.ctx.tracer
             if tracer.enabled:
-                tracer.event(ev.STATE, node.sim.now, node.name,
+                tracer.event(ev.STATE, node.now, node.name,
                              transition="verify_failed", window=g,
                              epoch=self.epoch)
             self.reports.drop_at_or_after(g)
@@ -533,14 +533,14 @@ class DecoAsyncRoot(RootBehaviorBase):
 
     # -- correction (Section 4.3.2) -----------------------------------------------------
 
-    def _start_correction(self, node: SimNode, window: int) -> None:
+    def _start_correction(self, node: RuntimeNode, window: int) -> None:
         self.epoch += 1
         self._correcting = window
         spans = self.actual_spans(window)
         watermark = self.watermark.current
         tracer = self.ctx.tracer
         if tracer.enabled:
-            tracer.event(ev.STATE, node.sim.now, node.name,
+            tracer.event(ev.STATE, node.now, node.name,
                          transition="correction_start", window=window,
                          epoch=self.epoch)
             tracer.inc("corrections", node.name)
@@ -549,14 +549,14 @@ class DecoAsyncRoot(RootBehaviorBase):
             actual_size=spans[a][1] - spans[a][0],
             start_position=spans[a][0], watermark=watermark))
 
-    def _try_finish_correction(self, node: SimNode) -> None:
+    def _try_finish_correction(self, node: RuntimeNode) -> None:
         g = self._correcting
         if g is None or not self.corrections.complete(g):
             return
         self._correcting = None
         tracer = self.ctx.tracer
         if tracer.enabled:
-            tracer.event(ev.STATE, node.sim.now, node.name,
+            tracer.event(ev.STATE, node.now, node.name,
                          transition="correction_done", window=g,
                          epoch=self.epoch)
         reports = self.corrections.pop(g)

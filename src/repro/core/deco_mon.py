@@ -24,7 +24,7 @@ from repro.core.protocol import (LocalWindowReport, Message, RateReport,
                                  WindowAssignment)
 from repro.core.root import ReportCollector, RootBehaviorBase
 from repro.obs import events as ev
-from repro.sim.node import SimNode
+from repro.runtime.node import RuntimeNode
 
 
 class DecoMonLocal(LocalBehaviorBase):
@@ -40,7 +40,7 @@ class DecoMonLocal(LocalBehaviorBase):
         #: The pending assignment: (window, size, start) or None.
         self._assignment: tuple[int, int, int] | None = None
 
-    def on_events(self, node: SimNode) -> None:
+    def on_events(self, node: RuntimeNode) -> None:
         if not self._sent_initial_rate:
             # Bootstrap: the first initialization step fires once events
             # (and hence a measurable rate) exist.
@@ -51,7 +51,7 @@ class DecoMonLocal(LocalBehaviorBase):
                 events_seen=self._rate_mark_count))
         self._try_complete(node)
 
-    def handle_control(self, node: SimNode, msg: Message) -> None:
+    def handle_control(self, node: RuntimeNode, msg: Message) -> None:
         if isinstance(msg, WindowAssignment):
             self._assignment = (msg.window_index, msg.predicted_size,
                                 msg.start_position)
@@ -60,7 +60,7 @@ class DecoMonLocal(LocalBehaviorBase):
             self.apply_watermark(msg.watermark)
             self._try_complete(node)
 
-    def _try_complete(self, node: SimNode) -> None:
+    def _try_complete(self, node: RuntimeNode) -> None:
         if self._assignment is None:
             return
         window, size, start = self._assignment
@@ -91,7 +91,7 @@ class DecoMonRoot(RootBehaviorBase):
         self.reports = ReportCollector(self.n_nodes)
         self._assigned_window = -1
 
-    def handle(self, node: SimNode, msg: Message) -> None:
+    def handle(self, node: RuntimeNode, msg: Message) -> None:
         if isinstance(msg, RateReport):
             self.rates.add(msg.window_index, self.node_index(msg.sender),
                            msg)
@@ -103,7 +103,7 @@ class DecoMonRoot(RootBehaviorBase):
         else:  # pragma: no cover - defensive
             raise TypeError(f"Deco_mon root got {type(msg).__name__}")
 
-    def _maybe_assign(self, node: SimNode) -> None:
+    def _maybe_assign(self, node: RuntimeNode) -> None:
         """Verification step: all rates in -> send actual sizes."""
         g = self.next_emit
         if (g >= self.ctx.n_windows or g <= self._assigned_window
@@ -115,7 +115,7 @@ class DecoMonRoot(RootBehaviorBase):
         watermark = self.watermark.current
         tracer = self.ctx.tracer
         if tracer.enabled:
-            tracer.event(ev.STATE, node.sim.now, node.name,
+            tracer.event(ev.STATE, node.now, node.name,
                          transition="assign", window=g)
         self.broadcast(node, lambda a: WindowAssignment(
             sender="root", window_index=g, epoch=0,
@@ -123,7 +123,7 @@ class DecoMonRoot(RootBehaviorBase):
             start_position=spans[a][0], release_before=spans[a][0],
             watermark=watermark))
 
-    def _maybe_emit(self, node: SimNode) -> None:
+    def _maybe_emit(self, node: RuntimeNode) -> None:
         g = self.next_emit
         if g >= self.ctx.n_windows or not self.reports.complete(g):
             return

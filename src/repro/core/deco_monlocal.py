@@ -28,8 +28,8 @@ from repro.core.protocol import (LocalWindowReport, Message, RateReport,
                                  StartWindow)
 from repro.core.root import ReportCollector, RootBehaviorBase
 from repro.core.slicing import mon_local_sizes
-from repro.sim.node import SimNode
-from repro.sim.topology import local_name
+from repro.runtime.node import RuntimeNode
+from repro.runtime.api import local_name
 
 
 class DecoMonLocalPeerLocal(LocalBehaviorBase):
@@ -50,7 +50,7 @@ class DecoMonLocalPeerLocal(LocalBehaviorBase):
 
     # -- peer exchange (initialization step) -----------------------------------
 
-    def _broadcast_rate(self, node: SimNode) -> None:
+    def _broadcast_rate(self, node: RuntimeNode) -> None:
         rate = self.take_rate() or 1.0
         self._rates[self.index] = rate
         report = RateReport(sender=node.name, window_index=self._window,
@@ -60,13 +60,13 @@ class DecoMonLocalPeerLocal(LocalBehaviorBase):
                 node.send(local_name(a), report)
         self._maybe_size(node)
 
-    def on_events(self, node: SimNode) -> None:
+    def on_events(self, node: RuntimeNode) -> None:
         if not self._started:
             self._started = True
             self._broadcast_rate(node)
         self._try_complete(node)
 
-    def handle_control(self, node: SimNode, msg: Message) -> None:
+    def handle_control(self, node: RuntimeNode, msg: Message) -> None:
         if isinstance(msg, RateReport):
             if msg.window_index != self._window:
                 return  # stale exchange from a previous window
@@ -83,7 +83,7 @@ class DecoMonLocalPeerLocal(LocalBehaviorBase):
 
     # -- verification moved to the local node -----------------------------------
 
-    def _maybe_size(self, node: SimNode) -> None:
+    def _maybe_size(self, node: RuntimeNode) -> None:
         if len(self._rates) < self.ctx.n_nodes:
             return
         rates = [self._rates[a] for a in range(self.ctx.n_nodes)]
@@ -93,7 +93,7 @@ class DecoMonLocalPeerLocal(LocalBehaviorBase):
 
     # -- calculation step ----------------------------------------------------------
 
-    def _try_complete(self, node: SimNode) -> None:
+    def _try_complete(self, node: RuntimeNode) -> None:
         if self._pending_size is None:
             return
         start, size = self._position, self._pending_size
@@ -121,7 +121,7 @@ class DecoMonLocalPeerRoot(RootBehaviorBase):
         super().__init__(ctx)
         self.reports = ReportCollector(self.n_nodes)
 
-    def handle(self, node: SimNode, msg: Message) -> None:
+    def handle(self, node: RuntimeNode, msg: Message) -> None:
         if not isinstance(msg, LocalWindowReport):  # pragma: no cover
             raise TypeError(
                 f"Deco_monlocal root got {type(msg).__name__}")
@@ -129,7 +129,7 @@ class DecoMonLocalPeerRoot(RootBehaviorBase):
                          msg)
         self._maybe_emit(node)
 
-    def _maybe_emit(self, node: SimNode) -> None:
+    def _maybe_emit(self, node: RuntimeNode) -> None:
         g = self.next_emit
         if g >= self.ctx.n_windows or not self.reports.complete(g):
             return

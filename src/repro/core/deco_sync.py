@@ -38,10 +38,10 @@ from repro.core.root import ReportCollector, RootBehaviorBase
 from repro.core.slicing import SyncLayout, sync_layout
 from repro.core.verification import sync_prediction_ok
 from repro.obs import events as ev
-from repro.sim.node import SimNode
+from repro.runtime.node import RuntimeNode
 
 if TYPE_CHECKING:
-    from repro.sim.kernel import Timeout
+    from repro.runtime.node import Timeout
 
 #: Number of bootstrap windows collected centrally.
 BOOTSTRAP_WINDOWS = 2
@@ -74,12 +74,12 @@ class DecoSyncLocal(LocalBehaviorBase):
 
     # -- failure model ---------------------------------------------------------
 
-    def _arm_timeout(self, node: SimNode) -> None:
+    def _arm_timeout(self, node: RuntimeNode) -> None:
         if self.ctx.retransmit_timeout_s is None:
             return
         if self._timeout is None:
-            from repro.sim.kernel import Timeout
-            self._timeout = Timeout(node.sim,
+            from repro.runtime.node import Timeout
+            self._timeout = Timeout(node,
                                     lambda: self._retransmit(node))
         self._timeout.arm(self.ctx.retransmit_timeout_s)
 
@@ -87,7 +87,7 @@ class DecoSyncLocal(LocalBehaviorBase):
         if self._timeout is not None:
             self._timeout.cancel()
 
-    def _retransmit(self, node: SimNode) -> None:
+    def _retransmit(self, node: RuntimeNode) -> None:
         """No answer from the root: re-send the last report (the root
         may have missed it, or its reply may have been dropped)."""
         if self._last_sent is None:
@@ -95,14 +95,14 @@ class DecoSyncLocal(LocalBehaviorBase):
         self.ctx.result.retransmissions += 1
         tracer = self.ctx.tracer
         if tracer.enabled:
-            tracer.event(ev.MSG_RETRANSMIT, node.sim.now, node.name,
+            tracer.event(ev.MSG_RETRANSMIT, node.now, node.name,
                          reason="timeout",
                          **trace_fields(self._last_sent))
             tracer.inc("retransmissions", node.name)
         self.send_up(node, self._last_sent)
         self._arm_timeout(node)
 
-    def _send_report(self, node: SimNode, msg: Message) -> None:
+    def _send_report(self, node: RuntimeNode, msg: Message) -> None:
         self._last_sent = msg
         self.send_up(node, msg)
         self._arm_timeout(node)
@@ -113,14 +113,14 @@ class DecoSyncLocal(LocalBehaviorBase):
             return self.bootstrap_budget(BOOTSTRAP_WINDOWS)
         return super().retention_budget()
 
-    def on_events(self, node: SimNode) -> None:
+    def on_events(self, node: RuntimeNode) -> None:
         if self._bootstrapping:
             self._forward_bootstrap(node)
             return
         self._try_calculate(node)
         self._try_correct(node)
 
-    def _forward_bootstrap(self, node: SimNode) -> None:
+    def _forward_bootstrap(self, node: RuntimeNode) -> None:
         batch = self.buffer.get_range(self._forwarded, self.available)
         if len(batch):
             # Forward raw events but *retain* them: once prediction
@@ -130,7 +130,7 @@ class DecoSyncLocal(LocalBehaviorBase):
                                          start=self._forwarded))
             self._forwarded = self.available
 
-    def handle_control(self, node: SimNode, msg: Message) -> None:
+    def handle_control(self, node: RuntimeNode, msg: Message) -> None:
         if isinstance(msg, WindowAssignment):
             self._bootstrapping = False
             self._cancel_timeout()
@@ -143,7 +143,7 @@ class DecoSyncLocal(LocalBehaviorBase):
                 self.ctx.result.retransmissions += 1
                 tracer = self.ctx.tracer
                 if tracer.enabled:
-                    tracer.event(ev.MSG_RETRANSMIT, node.sim.now,
+                    tracer.event(ev.MSG_RETRANSMIT, node.now,
                                  node.name, reason="duplicate_assignment",
                                  **trace_fields(self._last_sent))
                     tracer.inc("retransmissions", node.name)
@@ -172,7 +172,7 @@ class DecoSyncLocal(LocalBehaviorBase):
         else:  # pragma: no cover - defensive
             raise TypeError(f"Deco_sync local got {type(msg).__name__}")
 
-    def _try_calculate(self, node: SimNode) -> None:
+    def _try_calculate(self, node: RuntimeNode) -> None:
         """Algorithm 2: emit partial + buffer once enough events exist."""
         if self._assignment is None:
             return
@@ -196,7 +196,7 @@ class DecoSyncLocal(LocalBehaviorBase):
 
         self.aggregate_then(node, start, slice_end, send)
 
-    def _try_correct(self, node: SimNode) -> None:
+    def _try_correct(self, node: RuntimeNode) -> None:
         """Correction step: recompute with the actual window size."""
         if self._correction is None:
             return
@@ -240,11 +240,11 @@ class DecoSyncRoot(RootBehaviorBase):
         #: Failure model: re-broadcast hook while awaiting reports.
         self._timeout: "Timeout | None" = None
         self._rebroadcast: Callable[[], None] | None = None
-        self._timeout_node: SimNode | None = None
+        self._timeout_node: RuntimeNode | None = None
 
     # -- failure model ----------------------------------------------------------
 
-    def _arm_timeout(self, node: SimNode,
+    def _arm_timeout(self, node: RuntimeNode,
                      rebroadcast: Callable[[], None]) -> None:
         """Await reports; re-broadcast the last down-flow on timeout
         ("when the root does not receive messages from one of the local
@@ -256,8 +256,8 @@ class DecoSyncRoot(RootBehaviorBase):
         if self.ctx.retransmit_timeout_s is None:
             return
         if self._timeout is None:
-            from repro.sim.kernel import Timeout
-            self._timeout = Timeout(node.sim, self._fire_timeout)
+            from repro.runtime.node import Timeout
+            self._timeout = Timeout(node, self._fire_timeout)
         self._timeout.arm(self.ctx.retransmit_timeout_s)
 
     def _cancel_timeout(self) -> None:
@@ -270,7 +270,7 @@ class DecoSyncRoot(RootBehaviorBase):
             tracer = self.ctx.tracer
             if tracer.enabled:
                 node = self._timeout_node
-                tracer.event(ev.MSG_RETRANSMIT, node.sim.now, node.name,
+                tracer.event(ev.MSG_RETRANSMIT, node.now, node.name,
                              reason="timeout", msg="down_flow")
                 tracer.inc("retransmissions", node.name)
             self._rebroadcast()
@@ -279,7 +279,7 @@ class DecoSyncRoot(RootBehaviorBase):
 
     # -- dispatch ------------------------------------------------------------
 
-    def service_time(self, node: SimNode, msg: Message) -> float:
+    def service_time(self, node: RuntimeNode, msg: Message) -> float:
         if isinstance(msg, RawEvents) and self._bootstrap_done:
             # Stale bootstrap forwardings after the switch to
             # decentralized mode: dequeue and drop, no aggregation.
@@ -288,7 +288,7 @@ class DecoSyncRoot(RootBehaviorBase):
                     * node.profile.per_event_process_s())
         return super().service_time(node, msg)
 
-    def handle(self, node: SimNode, msg: Message) -> None:
+    def handle(self, node: RuntimeNode, msg: Message) -> None:
         if isinstance(msg, RawEvents):
             if self._bootstrap_done:
                 return  # late bootstrap forwardings; dropped
@@ -310,7 +310,7 @@ class DecoSyncRoot(RootBehaviorBase):
 
     # -- bootstrap -----------------------------------------------------------
 
-    def _try_emit_bootstrap(self, node: SimNode) -> None:
+    def _try_emit_bootstrap(self, node: RuntimeNode) -> None:
         while (self.next_emit < min(BOOTSTRAP_WINDOWS,
                                     self.ctx.n_windows)):
             g = self.next_emit
@@ -332,7 +332,7 @@ class DecoSyncRoot(RootBehaviorBase):
 
     # -- prediction step ---------------------------------------------------------
 
-    def _send_prediction(self, node: SimNode) -> None:
+    def _send_prediction(self, node: RuntimeNode) -> None:
         """Algorithm 1: assign predicted sizes + deltas for next_emit."""
         g = self.next_emit
         self._bootstrap_done = True
@@ -347,7 +347,7 @@ class DecoSyncRoot(RootBehaviorBase):
         self.assigned[g] = assignment
         tracer = self.ctx.tracer
         if tracer.enabled:
-            tracer.event(ev.STATE, node.sim.now, node.name,
+            tracer.event(ev.STATE, node.now, node.name,
                          transition="predict", window=g)
 
         def broadcast() -> None:
@@ -363,7 +363,7 @@ class DecoSyncRoot(RootBehaviorBase):
 
     # -- verification step ----------------------------------------------------------
 
-    def _try_verify(self, node: SimNode) -> None:
+    def _try_verify(self, node: RuntimeNode) -> None:
         """Algorithm 3: verify Eq. 5-6, emit or start the correction."""
         g = self.next_emit
         if (g >= self.ctx.n_windows or self._correcting is not None
@@ -380,7 +380,7 @@ class DecoSyncRoot(RootBehaviorBase):
             self.result.prediction_errors += 1
             tracer = self.ctx.tracer
             if tracer.enabled:
-                tracer.event(ev.STATE, node.sim.now, node.name,
+                tracer.event(ev.STATE, node.now, node.name,
                              transition="verify_failed", window=g)
             self._start_correction(node, g)
             return
@@ -401,14 +401,14 @@ class DecoSyncRoot(RootBehaviorBase):
 
     # -- correction step -------------------------------------------------------------
 
-    def _start_correction(self, node: SimNode, window: int) -> None:
+    def _start_correction(self, node: RuntimeNode, window: int) -> None:
         """Send actual sizes; await corrected partials (Section 4.3.1)."""
         self._correcting = window
         spans = self.actual_spans(window)
         watermark = self.watermark.current
         tracer = self.ctx.tracer
         if tracer.enabled:
-            tracer.event(ev.STATE, node.sim.now, node.name,
+            tracer.event(ev.STATE, node.now, node.name,
                          transition="correction_start", window=window)
             tracer.inc("corrections", node.name)
 
@@ -421,7 +421,7 @@ class DecoSyncRoot(RootBehaviorBase):
         broadcast()
         self._arm_timeout(node, broadcast)
 
-    def _try_finish_correction(self, node: SimNode) -> None:
+    def _try_finish_correction(self, node: RuntimeNode) -> None:
         g = self._correcting
         if g is None or not self.corrections.complete(g):
             return
@@ -429,7 +429,7 @@ class DecoSyncRoot(RootBehaviorBase):
         self._correcting = None
         tracer = self.ctx.tracer
         if tracer.enabled:
-            tracer.event(ev.STATE, node.sim.now, node.name,
+            tracer.event(ev.STATE, node.now, node.name,
                          transition="correction_done", window=g)
         reports = self.corrections.pop(g)
         partial = self.fn.combine_all(

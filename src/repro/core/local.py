@@ -16,8 +16,8 @@ from typing import Any
 from repro.core.buffers import PositionBuffer
 from repro.core.context import SchemeContext
 from repro.core.protocol import Message, SourceBatch
-from repro.sim.node import SimNode
-from repro.sim.topology import ROOT_NAME
+from repro.runtime.node import RuntimeNode
+from repro.runtime.api import ROOT_NAME
 from repro.streams.event import TICKS_PER_SECOND
 from repro.streams.watermark import WatermarkTracker
 
@@ -61,7 +61,7 @@ class LocalBehaviorBase:
 
     # -- Behaviour protocol -------------------------------------------------
 
-    def on_start(self, node: SimNode) -> None:
+    def on_start(self, node: RuntimeNode) -> None:
         """Default: nothing to do until events or control arrive."""
 
     def input_paused(self) -> bool:
@@ -93,7 +93,7 @@ class LocalBehaviorBase:
         g = min(n_bootstrap_windows, workload.n_windows)
         return int(workload.bounds[g, self.index]) + per_node
 
-    def service_time(self, node: SimNode, msg: Any) -> float:
+    def service_time(self, node: RuntimeNode, msg: Any) -> float:
         """CPU cost: ingest+aggregate for events, overhead for control."""
         if isinstance(msg, SourceBatch):
             return (len(msg.events) * node.profile.per_event_process_s()
@@ -101,7 +101,7 @@ class LocalBehaviorBase:
                     + node.profile.message_overhead_s)
         return node.profile.message_overhead_s
 
-    def on_message(self, node: SimNode, msg: Any) -> None:
+    def on_message(self, node: RuntimeNode, msg: Any) -> None:
         if isinstance(msg, SourceBatch):
             self._ingest(node, msg)
         elif isinstance(msg, Message):
@@ -111,7 +111,7 @@ class LocalBehaviorBase:
 
     # -- ingestion -----------------------------------------------------------
 
-    def _ingest(self, node: SimNode, msg: SourceBatch) -> None:
+    def _ingest(self, node: RuntimeNode, msg: SourceBatch) -> None:
         events = msg.events
         if len(events) == 0:
             return
@@ -123,10 +123,10 @@ class LocalBehaviorBase:
         node.account_events(len(events))
         self.on_events(node)
 
-    def on_events(self, node: SimNode) -> None:
+    def on_events(self, node: RuntimeNode) -> None:
         """Scheme hook: new events are available in :attr:`buffer`."""
 
-    def handle_control(self, node: SimNode, msg: Message) -> None:
+    def handle_control(self, node: RuntimeNode, msg: Message) -> None:
         """Scheme hook: a control message arrived from the root."""
 
     # -- helpers -----------------------------------------------------------------
@@ -166,7 +166,7 @@ class LocalBehaviorBase:
         """
         return self.buffer.lift_range(start, end)
 
-    def aggregate_then(self, node: SimNode, start: int, end: int,
+    def aggregate_then(self, node: RuntimeNode, start: int, end: int,
                        then: Callable[[Any], None]) -> None:
         """Aggregate ``[start, end)`` as a CPU burst, then call
         ``then(partial)`` when the burst completes.
@@ -177,12 +177,12 @@ class LocalBehaviorBase:
         partial = self.lift_range(start, end)
         done = node.occupy(
             (end - start) * node.profile.per_event_process_s())
-        if done > node.sim.now:
-            node.sim.schedule_at(done, lambda: then(partial))
+        if done > node.now:
+            node.schedule_at(done, lambda: then(partial))
         else:
             then(partial)
 
-    def send_up(self, node: SimNode, msg: Message) -> None:
+    def send_up(self, node: RuntimeNode, msg: Message) -> None:
         """Send a message to the root, charging serialization CPU for
         any raw events it carries."""
         n_raw = _raw_event_count(msg)

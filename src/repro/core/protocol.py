@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from collections.abc import Callable
 from typing import Any
 
-from repro.sim.serialization import WireFormat, message_size
+from repro.runtime.serialization import WireFormat, message_size
 from repro.streams.batch import EventBatch
 from repro.wire.format import partial_wire_slots
 

@@ -19,8 +19,8 @@ from repro.core.protocol import (CorrectionReport, LocalWindowReport,
                                  Message, RawEvents, ResendRequest)
 from repro.core.records import WindowOutcome
 from repro.obs import events as ev
-from repro.sim.node import SimNode
-from repro.sim.topology import local_name
+from repro.runtime.node import RuntimeNode
+from repro.runtime.api import local_name
 from repro.streams.watermark import WatermarkTracker
 
 
@@ -48,10 +48,10 @@ class RootBehaviorBase:
 
     # -- Behaviour protocol ---------------------------------------------------
 
-    def on_start(self, node: SimNode) -> None:
+    def on_start(self, node: RuntimeNode) -> None:
         """Default: wait for up-flows."""
 
-    def service_time(self, node: SimNode, msg: Any) -> float:
+    def service_time(self, node: RuntimeNode, msg: Any) -> float:
         """Default CPU costs by message class; schemes tune the factors."""
         per_event = node.profile.per_event_process_s()
         overhead = node.profile.message_overhead_s
@@ -66,12 +66,12 @@ class RootBehaviorBase:
             return overhead + len(msg.last_event) * per_event
         return overhead
 
-    def on_message(self, node: SimNode, msg: Any) -> None:
+    def on_message(self, node: RuntimeNode, msg: Any) -> None:
         if not isinstance(msg, Message):  # pragma: no cover - defensive
             raise TypeError(f"unexpected message {type(msg).__name__}")
         self.handle(node, msg)
 
-    def handle(self, node: SimNode, msg: Message) -> None:
+    def handle(self, node: RuntimeNode, msg: Message) -> None:
         """Scheme hook: dispatch an up-flow message."""
         raise NotImplementedError
 
@@ -101,7 +101,7 @@ class RootBehaviorBase:
         return [PositionBuffer(fn=self.fn)
                 for _ in range(self.n_nodes)]
 
-    def ingest_positioned_raw(self, node: SimNode, msg: RawEvents,
+    def ingest_positioned_raw(self, node: RuntimeNode, msg: RawEvents,
                               store: PositionBuffer) -> bool:
         """Append position-tagged raw events into ``store``.
 
@@ -124,7 +124,7 @@ class RootBehaviorBase:
         store.append(events)
         return True
 
-    def broadcast(self, node: SimNode,
+    def broadcast(self, node: RuntimeNode,
                   make_msg: Callable[[int], Message | None]) -> None:
         """Send ``make_msg(a)`` to every local node (one down-flow)."""
         for a in range(self.n_nodes):
@@ -132,7 +132,7 @@ class RootBehaviorBase:
             if msg is not None:
                 node.send(local_name(a), msg)
 
-    def emit(self, node: SimNode, window: int, value: float,
+    def emit(self, node: RuntimeNode, window: int, value: float,
              spans: dict[int, tuple[int, int]], *, corrected: bool = False,
              up_flows: int = 1, down_flows: int = 0,
              after: Callable[[], None] | None = None) -> None:
@@ -151,7 +151,7 @@ class RootBehaviorBase:
                 f"{self.next_emit}")
         burst = (self.ctx.window_size * self.EMIT_BURST_FACTOR
                  * node.profile.per_event_process_s())
-        done = node.occupy(burst) if burst > 0 else node.sim.now
+        done = node.occupy(burst) if burst > 0 else node.now
         outcome = WindowOutcome(index=window, result=value,
                                 emit_time=done, spans=dict(spans),
                                 corrected=corrected, up_flows=up_flows,
@@ -175,10 +175,10 @@ class RootBehaviorBase:
             if after is not None:
                 after()
             if self.next_emit >= self.ctx.n_windows:
-                node.sim.stop()
+                node.request_stop()
 
-        if done > node.sim.now:
-            node.sim.schedule_at(done, finish)
+        if done > node.now:
+            node.schedule_at(done, finish)
         else:
             finish()
 

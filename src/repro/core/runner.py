@@ -1,38 +1,39 @@
-"""Scheme runner: build a cluster, inject a workload, collect results.
+"""Scheme registry and run configuration.
 
-This is the execution entry point used by the public API, the examples,
-and every benchmark.  A run:
+This module owns the *what* of a run — the registered schemes, the
+:class:`RunConfig` parameter set, and the shared context construction —
+while the *how* lives behind the runtime driver interface
+(:mod:`repro.runtime`):
 
-1. generates (or accepts) a :class:`~repro.core.workload.Workload`,
-2. builds the star topology with the scheme's behaviours and profiles,
-3. injects each node's stream as :class:`SourceBatch` deliveries —
-   *paced* (arrival time = event time, for latency measurement) or
-   *saturated* (everything available up front, for sustainable
-   throughput measurement),
-4. runs the simulation and packages a :class:`RunResult`.
+* :func:`repro.runtime.driver.run_scheme_simulated` executes a config
+  on the discrete-event simulator (the deterministic oracle), and
+* :mod:`repro.serve` executes the same config over real node processes
+  speaking the binary wire codec on TCP.
+
+:func:`run_scheme` (the public entry used by the API, the examples, and
+every benchmark) dispatches to the simulator driver; the moved builder
+helpers (``build_run``, ``inject_sources``, ``run_simulation``, ...)
+are re-exported here for existing importers.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.core.context import SchemeContext
-from repro.core.protocol import SourceBatch, make_sizer
-from repro.core.query import Query, tumbling_count_query
+from repro.core.query import tumbling_count_query
 from repro.core.records import RunResult
 from repro.core.workload import Workload, WorkloadSpec, default_cache
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError
 from repro.obs.tracer import NULL_TRACER, RunTracer
-from repro.sim.kernel import PHASE_SOURCE, Simulator
-from repro.sim.network import DEFAULT_LATENCY_S, ETHERNET_25G
-from repro.sim.node import INTEL_XEON, NodeProfile, SimNode
-from repro.sim.serialization import WireFormat
-from repro.sim.topology import ROOT_NAME, StarTopology, build_star, \
-    local_name
-from repro.streams.batch import EventBatch
-from repro.streams.event import ticks_to_seconds
+from repro.runtime.api import DEFAULT_LATENCY_S, ETHERNET_25G
+from repro.runtime.node import INTEL_XEON, NodeProfile
+from repro.runtime.serialization import WireFormat
+
+if TYPE_CHECKING:
+    from repro.sim.topology import StarTopology
 
 
 @dataclass(frozen=True)
@@ -171,15 +172,17 @@ class RunConfig:
         return max(16, min(65_536, per_node_window // 64))
 
 
-def build_run(config: RunConfig,
-              workload: Workload | None = None,
-              tracer: RunTracer | None = None
-              ) -> tuple[StarTopology, SchemeContext]:
-    """Construct the topology + context for a config (without running).
+def make_context(config: RunConfig,
+                 workload: Workload | None = None,
+                 tracer: RunTracer | None = None
+                 ) -> tuple[SchemeSpec, SchemeContext, RunTracer | None]:
+    """Resolve scheme + query + workload into a fresh run context.
 
-    ``tracer`` overrides ``config.trace``: pass an existing
-    :class:`~repro.obs.tracer.RunTracer` to collect into it, or leave
-    both unset for the zero-overhead null tracer.
+    Shared by both drivers: the simulator builder
+    (:func:`repro.runtime.driver.build_run`) and every serve worker
+    construct their context through here, so the holistic-query
+    fallback, the result record, and the wire format cannot diverge
+    between the oracle and the real runtime.
     """
     spec = get_scheme(config.scheme)
     if tracer is None and config.trace:
@@ -203,162 +206,7 @@ def build_run(config: RunConfig,
                         retransmit_timeout_s=config.retransmit_timeout_s,
                         tracer=tracer if tracer is not None
                         else NULL_TRACER)
-    local_profile = config.local_profile
-    root_profile = config.root_profile
-    if spec.profile_transform is not None:
-        local_profile = spec.profile_transform(local_profile)
-        root_profile = spec.profile_transform(root_profile)
-    topo = build_star(
-        workload.n_nodes, sizer=make_sizer(spec.fmt),
-        root_profile=root_profile, local_profile=local_profile,
-        bandwidth=config.bandwidth, latency=config.latency,
-        root_behavior=spec.root_cls(ctx),
-        local_behavior_factory=lambda i: spec.local_cls(i, ctx),
-        tiebreak_salt=config.tiebreak_salt)
-    if spec.needs_peer_mesh:
-        from repro.sim.topology import peer_mesh
-        peer_mesh(topo)
-    # Imported here, not at module top: repro.wire.codec itself imports
-    # repro.core.protocol, so a top-level import would cycle whenever
-    # the codec is the first repro module loaded.
-    from repro.wire.codec import MessageCodec, wire_codec_enabled_default
-    if wire_codec_enabled_default():
-        # Real encode/decode on the message path: receivers only see
-        # what survived the binary frame.  Bit-identical to the
-        # modelled path (REPRO_WIRE_CODEC=0) by construction — the
-        # size model derives from the frame layout.
-        topo.network.codec = MessageCodec(spec.fmt)
-    if tracer is not None:
-        topo.sim.tracer = tracer
-        tracer.meta.setdefault("scheme", config.scheme)
-        tracer.meta.setdefault("n_nodes", workload.n_nodes)
-        tracer.meta.setdefault("window_size", config.window_size)
-        tracer.meta.setdefault("n_windows", config.n_windows)
-        tracer.meta.setdefault("seed", config.seed)
-    return topo, ctx
-
-
-def inject_sources(topo: StarTopology, ctx: SchemeContext,
-                   batch_size: int, saturated: bool) -> None:
-    """Schedule every node's stream as SourceBatch deliveries.
-
-    Injection is trimmed to what the measured windows need plus a small
-    tail (prediction buffers extend past the last boundary), so that
-    byte/CPU accounting is comparable across schemes instead of
-    depending on when each scheme's simulation happens to stop.
-    """
-    sim = topo.sim
-    workload = ctx.workload
-    for i, stream in enumerate(workload.streams):
-        node = topo.local(i)
-        # Inject the whole generated stream: speculative schemes (and
-        # Approx's drifting static split) may need events well past the
-        # last measured boundary, and the run stops at the last emission
-        # anyway.
-        limit = len(stream)
-        if saturated:
-            _SourceFeeder(sim, node, stream, limit, batch_size,
-                          f"source-{i}").start()
-        else:
-            for start in range(0, limit, batch_size):
-                batch = stream.slice_range(
-                    start, min(start + batch_size, limit))
-                msg = SourceBatch(sender=f"source-{i}", events=batch)
-                sim.schedule_at(ticks_to_seconds(batch.last_ts),
-                                lambda n=node, m=msg: n.deliver(m),
-                                phase=PHASE_SOURCE)
-
-
-class _SourceFeeder:
-    """Backpressured source injection for sustainable-throughput runs.
-
-    Delivers the next input batch as soon as the node's CPU finishes the
-    previous one ("the system processes incoming data without an
-    ever-increasing backlog", Section 5's sustainable-throughput setup).
-    Control messages interleave between batches instead of starving
-    behind an unbounded input queue.
-    """
-
-    def __init__(self, sim: Simulator, node: SimNode,
-                 stream: EventBatch, limit: int, batch_size: int,
-                 sender: str) -> None:
-        self._sim = sim
-        self._node = node
-        self._stream = stream
-        self._limit = limit
-        self._batch_size = batch_size
-        self._sender = sender
-        self._pos = 0
-
-    def start(self) -> None:
-        self._sim.schedule_at(0.0, self._feed, phase=PHASE_SOURCE)
-
-    #: Backpressure polling interval (simulated seconds).
-    RETRY_S = 50e-6
-
-    def _feed(self) -> None:
-        if self._pos >= self._limit:
-            return
-        node = self._node
-        behavior = node.behavior
-        if (behavior is not None and hasattr(behavior, "input_paused")
-                and behavior.input_paused()):
-            # Bounded node memory: hold the input until the protocol
-            # releases verified events.
-            self._sim.schedule(self.RETRY_S, self._feed,
-                               phase=PHASE_SOURCE)
-            return
-        end = min(self._pos + self._batch_size, self._limit)
-        batch = self._stream.slice_range(self._pos, end)
-        self._pos = end
-        node.deliver(SourceBatch(sender=self._sender, events=batch))
-        # The node's CPU frees exactly when this batch's handler ran;
-        # feed the next batch then.  PHASE_SOURCE pins this feed after
-        # every same-instant protocol event (handler completions,
-        # sends), so the CPU-allocation order at that instant — and
-        # with it all downstream timing — is salt-invariant.
-        self._sim.schedule_at(node.cpu_free_at, self._feed,
-                              phase=PHASE_SOURCE)
-
-
-def collect(topo: StarTopology, ctx: SchemeContext) -> RunResult:
-    """Fill network/CPU accounting into the run's result."""
-    result = ctx.result
-    net = topo.network
-    result.bytes_up = net.bytes_into(ROOT_NAME)
-    result.bytes_down = net.bytes_from(ROOT_NAME)
-    total = net.total_bytes()
-    result.bytes_peer = total - result.bytes_up - result.bytes_down
-    result.messages = net.total_messages()
-    result.node_busy_s = {
-        name: node.metrics.busy_s for name, node in net.nodes().items()}
-    ingress = net.nic(ROOT_NAME, "ingress")
-    result.root_ingress_bytes_per_s = (
-        ingress.utilization_until_now * ingress.bandwidth)
-    return result
-
-
-def simulation_cap_s(ctx: SchemeContext) -> float:
-    """Safety cap on simulated time.
-
-    A healthy run finishes within the stream's own duration (paced) or
-    far sooner (saturated); a stalled protocol otherwise keeps the
-    event queue alive forever via backpressure-retry and timeout
-    events.  The cap bounds the run so stalls surface as diagnostics.
-    """
-    last_ts = max(
-        ticks_to_seconds(int(s.ts[-1]))
-        for s in ctx.workload.streams if len(s))
-    return 3.0 * last_ts + 10.0
-
-
-def run_simulation(topo: StarTopology, ctx: SchemeContext,
-                   batch_size: int, saturated: bool) -> RunResult:
-    """Inject sources, run to completion (or the safety cap), collect."""
-    inject_sources(topo, ctx, batch_size, saturated)
-    topo.start()
-    topo.sim.run(until=simulation_cap_s(ctx))
-    return collect(topo, ctx)
+    return spec, ctx, tracer
 
 
 def run_scheme(config: RunConfig,
@@ -367,16 +215,47 @@ def run_scheme(config: RunConfig,
                ) -> tuple[RunResult, Workload]:
     """Run one scheme over one workload; returns result + workload.
 
-    Tracing (``config.trace`` or an explicit ``tracer``) records into
-    the tracer without touching the :class:`RunResult` — traced and
+    Executes on the simulator driver (the oracle).  Tracing
+    (``config.trace`` or an explicit ``tracer``) records into the
+    tracer without touching the :class:`RunResult` — traced and
     untraced runs produce identical results.
     """
-    topo, ctx = build_run(config, workload, tracer)
-    result = run_simulation(topo, ctx, config.resolved_batch_size(),
-                            config.saturated)
-    if result.n_windows < ctx.n_windows:
-        raise SimulationError(
-            f"scheme {config.scheme!r} stalled: emitted "
-            f"{result.n_windows}/{ctx.n_windows} windows "
-            f"(likely a protocol deadlock or insufficient stream data)")
-    return result, ctx.workload
+    from repro.runtime.driver import run_scheme_simulated
+    return run_scheme_simulated(config, workload, tracer)
+
+
+# -- moved builder helpers (re-exported for existing importers) ------------
+
+def build_run(config: RunConfig,
+              workload: Workload | None = None,
+              tracer: RunTracer | None = None
+              ) -> "tuple[StarTopology, SchemeContext]":
+    """See :func:`repro.runtime.driver.build_run`."""
+    from repro.runtime.driver import build_run as _impl
+    return _impl(config, workload, tracer)
+
+
+def inject_sources(topo: "StarTopology", ctx: SchemeContext,
+                   batch_size: int, saturated: bool) -> None:
+    """See :func:`repro.runtime.driver.inject_sources`."""
+    from repro.runtime.driver import inject_sources as _impl
+    _impl(topo, ctx, batch_size, saturated)
+
+
+def collect(topo: "StarTopology", ctx: SchemeContext) -> RunResult:
+    """See :func:`repro.runtime.driver.collect`."""
+    from repro.runtime.driver import collect as _impl
+    return _impl(topo, ctx)
+
+
+def simulation_cap_s(ctx: SchemeContext) -> float:
+    """See :func:`repro.runtime.driver.simulation_cap_s`."""
+    from repro.runtime.driver import simulation_cap_s as _impl
+    return _impl(ctx)
+
+
+def run_simulation(topo: "StarTopology", ctx: SchemeContext,
+                   batch_size: int, saturated: bool) -> RunResult:
+    """See :func:`repro.runtime.driver.run_simulation`."""
+    from repro.runtime.driver import run_simulation as _impl
+    return _impl(topo, ctx, batch_size, saturated)

@@ -35,5 +35,11 @@ class SimulationError(ReproError):
     """The discrete-event simulator was driven into an invalid state."""
 
 
+class ServeError(ReproError):
+    """The serve runtime (real node processes over TCP) failed: a node
+    process died, a connection could not be established, or the ops
+    protocol was violated."""
+
+
 class VerificationFailed(ReproError):
     """Internal invariant check failed; indicates a bug, not a prediction error."""

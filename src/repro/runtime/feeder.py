@@ -1,0 +1,89 @@
+"""Driver-agnostic source injection.
+
+Both drivers feed each local node's stream the same way — *paced*
+(arrival time = event time, for latency measurement) or *saturated*
+(backpressured feeder, for sustainable-throughput measurement) — built
+only on the :class:`~repro.runtime.node.RuntimeNode` interface, so the
+injection schedule (and with it every downstream event order) is
+identical under the simulator and the serve runtime.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import SourceBatch
+from repro.runtime.api import PHASE_SOURCE
+from repro.runtime.node import RuntimeNode
+from repro.streams.batch import EventBatch
+from repro.streams.event import ticks_to_seconds
+
+
+def inject_stream(node: RuntimeNode, stream: EventBatch,
+                  batch_size: int, saturated: bool,
+                  sender: str) -> None:
+    """Schedule one node's stream as SourceBatch deliveries.
+
+    The whole generated stream is injected: speculative schemes (and
+    Approx's drifting static split) may need events well past the last
+    measured boundary, and the run stops at the last emission anyway.
+    """
+    limit = len(stream)
+    if saturated:
+        SourceFeeder(node, stream, limit, batch_size, sender).start()
+    else:
+        for start in range(0, limit, batch_size):
+            batch = stream.slice_range(
+                start, min(start + batch_size, limit))
+            msg = SourceBatch(sender=sender, events=batch)
+            node.schedule_at(ticks_to_seconds(batch.last_ts),
+                             lambda n=node, m=msg: n.deliver(m),
+                             phase=PHASE_SOURCE)
+
+
+class SourceFeeder:
+    """Backpressured source injection for sustainable-throughput runs.
+
+    Delivers the next input batch as soon as the node's CPU finishes the
+    previous one ("the system processes incoming data without an
+    ever-increasing backlog", Section 5's sustainable-throughput setup).
+    Control messages interleave between batches instead of starving
+    behind an unbounded input queue.
+    """
+
+    def __init__(self, node: RuntimeNode, stream: EventBatch,
+                 limit: int, batch_size: int, sender: str) -> None:
+        self._node = node
+        self._stream = stream
+        self._limit = limit
+        self._batch_size = batch_size
+        self._sender = sender
+        self._pos = 0
+
+    def start(self) -> None:
+        self._node.schedule_at(0.0, self._feed, phase=PHASE_SOURCE)
+
+    #: Backpressure polling interval (runtime seconds).
+    RETRY_S = 50e-6
+
+    def _feed(self) -> None:
+        if self._pos >= self._limit:
+            return
+        node = self._node
+        behavior = node.behavior
+        if (behavior is not None and hasattr(behavior, "input_paused")
+                and behavior.input_paused()):
+            # Bounded node memory: hold the input until the protocol
+            # releases verified events.
+            node.schedule(self.RETRY_S, self._feed,
+                          phase=PHASE_SOURCE)
+            return
+        end = min(self._pos + self._batch_size, self._limit)
+        batch = self._stream.slice_range(self._pos, end)
+        self._pos = end
+        node.deliver(SourceBatch(sender=self._sender, events=batch))
+        # The node's CPU frees exactly when this batch's handler ran;
+        # feed the next batch then.  PHASE_SOURCE pins this feed after
+        # every same-instant protocol event (handler completions,
+        # sends), so the CPU-allocation order at that instant — and
+        # with it all downstream timing — is salt-invariant.
+        node.schedule_at(node.cpu_free_at, self._feed,
+                         phase=PHASE_SOURCE)

@@ -1,0 +1,107 @@
+"""Serve load-generating benchmark: latency + throughput per scheme.
+
+For each benchmarked scheme this drives the soccer-trace generator
+through the real-process serve runtime twice:
+
+* **paced** (single-client): events arrive on their timestamps, the
+  coordinator throttles virtual time to the wall clock, and the
+  recorded p50/p95/p99 are how far each window *result* trails its
+  virtual emission time — classic load-test latency.
+* **saturated** (closed-loop): all input is available immediately and
+  the pipeline runs as fast as the lockstep protocol allows; the
+  recorded number is sustained events/s of wall-clock throughput.
+
+Every run is fingerprint-checked against the simulator driver (the
+oracle) — a serve benchmark whose results diverge from the simulation
+is measuring a bug, so divergence aborts the benchmark.
+
+Results go to ``BENCH_serve.json`` at the repo root (flat dict, like
+the other BENCH files).  ``REPRO_BENCH_QUICK=1`` shrinks the workload
+for CI smoke runs.
+"""
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.determinism import Fingerprint
+from repro.core.runner import RunConfig, run_scheme
+from repro.errors import ServeError
+from repro.serve.harness import run_scheme_served
+
+#: Schemes the serve benchmark covers (paper headliners + the
+#: centralized baseline).
+BENCH_SCHEMES = ("deco_sync", "deco_async", "central")
+
+OUT_PATH = Path(__file__).resolve().parents[3] / "BENCH_serve.json"
+
+
+def bench_config(scheme: str, quick: bool,
+                 saturated: bool) -> RunConfig:
+    """The benchmark workload for one scheme/mode."""
+    if quick:
+        return RunConfig(scheme=scheme, n_nodes=2, window_size=600,
+                         n_windows=3, rate_per_node=30_000.0, seed=11,
+                         saturated=saturated)
+    return RunConfig(scheme=scheme, n_nodes=3, window_size=6_000,
+                     n_windows=8, rate_per_node=60_000.0, seed=11,
+                     saturated=saturated)
+
+
+def verify_against_simulator(config: RunConfig, result: Any) -> None:
+    """Abort unless the serve result matches the oracle bit-for-bit."""
+    sim_result, _ = run_scheme(config)
+    if Fingerprint.of(sim_result) != Fingerprint.of(result):
+        raise ServeError(
+            f"serve run of {config.scheme!r} diverged from the "
+            f"simulator oracle — refusing to record benchmark numbers")
+
+
+def run_bench(schemes: tuple[str, ...] = BENCH_SCHEMES,
+              quick: bool | None = None,
+              out_path: Path | None = None) -> dict[str, Any]:
+    """Run the serve benchmark; writes and returns the payload."""
+    if quick is None:
+        quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
+    payload: dict[str, Any] = {
+        "benchmark": "serve",
+        "quick": quick,
+        "schemes": list(schemes),
+        "fingerprints_verified": True,
+    }
+    for scheme in schemes:
+        paced_cfg = bench_config(scheme, quick, saturated=False)
+        paced = run_scheme_served(paced_cfg)
+        verify_against_simulator(paced_cfg, paced.result)
+        pct = paced.latency_percentiles()
+        sat_cfg = bench_config(scheme, quick, saturated=True)
+        sat = run_scheme_served(sat_cfg)
+        verify_against_simulator(sat_cfg, sat.result)
+        payload[f"{scheme}_latency_p50_ms"] = round(
+            pct["p50_s"] * 1e3, 3)
+        payload[f"{scheme}_latency_p95_ms"] = round(
+            pct["p95_s"] * 1e3, 3)
+        payload[f"{scheme}_latency_p99_ms"] = round(
+            pct["p99_s"] * 1e3, 3)
+        payload[f"{scheme}_throughput_eps"] = round(
+            sat.throughput_eps, 1)
+        payload[f"{scheme}_windows"] = sat.result.n_windows
+        print(f"{scheme:12s} p50={pct['p50_s'] * 1e3:8.3f}ms "
+              f"p95={pct['p95_s'] * 1e3:8.3f}ms "
+              f"p99={pct['p99_s'] * 1e3:8.3f}ms "
+              f"throughput={sat.throughput_eps:12.0f} ev/s")
+    out = out_path if out_path is not None else OUT_PATH
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return payload
+
+
+def main() -> int:
+    run_bench()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

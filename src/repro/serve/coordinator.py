@@ -1,0 +1,319 @@
+"""Serve coordinator: the shared virtual clock and fabric over TCP.
+
+The coordinator owns exactly what the simulator driver owns — the
+event kernel, the :class:`~repro.sim.network.Network` with its links
+and NIC reservations, and the run loop — but every node is a
+:class:`ProxyNode`: delivering to it (or firing a timer a worker
+scheduled) becomes one lockstep RPC to the real node process, whose
+reply is the ordered op list to apply back onto the kernel.
+
+One kernel event pops at a time; its dispatch round-trips to one
+worker; the worker's ops are applied in emission order.  That is the
+whole bit-identity argument: the kernel assigns the same sequence
+numbers to the same schedules as the in-process oracle, so same-time
+ordering — and everything downstream of it — matches by construction.
+
+Pacing: a *paced* run (``config.saturated=False``) throttles the event
+loop to the virtual clock (one virtual second per wall second), so
+per-window wall latencies measure a real load test.  A *saturated* run
+lets virtual time free-run and measures sustained pipeline throughput.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from typing import Any
+
+from repro.core.context import SchemeContext
+from repro.core.protocol import make_sizer
+from repro.core.runner import RunConfig, make_context
+from repro.errors import ServeError
+from repro.obs.tracer import RunTracer
+from repro.runtime.api import ROOT_NAME, local_name
+from repro.runtime.driver import simulation_cap_s
+from repro.runtime.node import Behavior, NodeProfile
+from repro.serve import framing
+from repro.serve.protocol import (OP_CANCEL, OP_OUTCOME, OP_SCHEDULE,
+                                  OP_SEND, OP_STOP, sender_table)
+from repro.sim.kernel import Simulator
+from repro.sim.node import SimNode
+from repro.sim.topology import StarTopology, build_star, peer_mesh
+from repro.wire.codec import MessageCodec, wire_codec_enabled_default
+
+#: Seconds to wait for every worker process to connect and HELLO.
+HANDSHAKE_TIMEOUT_S = 30.0
+
+
+class ProxyNode(SimNode):
+    """Coordinator-side stand-in for a worker's node.
+
+    Attached to the real :class:`~repro.sim.network.Network` so link
+    and NIC accounting is exactly the simulator's; delivery is
+    intercepted and forwarded to the owning worker process instead of
+    running a behaviour locally.
+    """
+
+    def __init__(self, sim: Simulator, name: str, profile: NodeProfile,
+                 behavior: Behavior | None,
+                 coordinator: "Coordinator") -> None:
+        super().__init__(sim, name, profile, None)
+        self._coordinator = coordinator
+
+    def deliver(self, msg: Any) -> None:  # type: ignore[override]
+        self._coordinator.stash_dispatch(("deliver", self.name, msg))
+
+
+class WindowSample:
+    """Wall-clock observation of one emitted window result."""
+
+    __slots__ = ("index", "emit_time", "wall_offset_s")
+
+    def __init__(self, index: int, emit_time: float,
+                 wall_offset_s: float) -> None:
+        self.index = index
+        #: Virtual emission time (bit-identical to the simulator's).
+        self.emit_time = emit_time
+        #: Wall seconds since the run loop started.
+        self.wall_offset_s = wall_offset_s
+
+
+class Coordinator:
+    """Drives one serve run over already-spawned worker processes."""
+
+    def __init__(self, config: RunConfig,
+                 tracer: RunTracer | None = None) -> None:
+        self.config = config
+        spec, ctx, tracer = make_context(config, None, tracer)
+        self.ctx: SchemeContext = ctx
+        self.tracer = tracer
+        local_profile = config.local_profile
+        root_profile = config.root_profile
+        if spec.profile_transform is not None:
+            local_profile = spec.profile_transform(local_profile)
+            root_profile = spec.profile_transform(root_profile)
+        n = ctx.workload.n_nodes
+
+        def proxy(sim: Simulator, name: str, profile: NodeProfile,
+                  behavior: Behavior | None) -> ProxyNode:
+            return ProxyNode(sim, name, profile, behavior, self)
+
+        self.topo: StarTopology = build_star(
+            n, sizer=make_sizer(spec.fmt), root_profile=root_profile,
+            local_profile=local_profile, bandwidth=config.bandwidth,
+            latency=config.latency,
+            tiebreak_salt=config.tiebreak_salt, node_factory=proxy)
+        if spec.needs_peer_mesh:
+            peer_mesh(self.topo)
+        senders = sender_table(n)
+        if wire_codec_enabled_default():
+            codec = MessageCodec(spec.fmt)
+            codec.seed_senders(senders)
+            self.topo.network.codec = codec
+        #: Control-channel codec: always present (frames cross process
+        #: boundaries regardless of the fabric's codec setting).
+        self.transport_codec = MessageCodec(spec.fmt)
+        self.transport_codec.seed_senders(senders)
+        if tracer is not None:
+            self.topo.sim.tracer = tracer
+            tracer.meta.setdefault("scheme", config.scheme)
+            tracer.meta.setdefault("n_nodes", n)
+            tracer.meta.setdefault("window_size", config.window_size)
+            tracer.meta.setdefault("n_windows", config.n_windows)
+            tracer.meta.setdefault("seed", config.seed)
+            tracer.meta["runtime"] = "serve"
+        self.node_names = [ROOT_NAME] + [local_name(i)
+                                         for i in range(n)]
+        self._conns: dict[
+            str, tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
+        self._all_connected = asyncio.Event()
+        self._tokens: dict[tuple[str, int], Any] = {}
+        self._dispatch: tuple[str, str, Any] | None = None
+        self._stop = False
+        self.windows: list[WindowSample] = []
+        self.finals: dict[str, dict[str, Any]] = {}
+        self.wall_seconds = 0.0
+        self._wall_start = 0.0
+
+    # -- connection management ---------------------------------------------
+
+    async def on_connect(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        """``asyncio.start_server`` callback: HELLO/ACK handshake."""
+        try:
+            kind, header, _ = await framing.recv_frame_async(reader)
+        except ServeError:
+            writer.close()
+            return
+        if kind != framing.HELLO or header.get("node") not in \
+                self.node_names:
+            writer.close()
+            return
+        name = header["node"]
+        self._conns[name] = (reader, writer)
+        await framing.send_frame_async(writer, framing.ACK, {})
+        if len(self._conns) == len(self.node_names):
+            self._all_connected.set()
+
+    async def wait_for_workers(
+            self, timeout: float = HANDSHAKE_TIMEOUT_S) -> None:
+        """Block until every expected node process has connected."""
+        try:
+            await asyncio.wait_for(self._all_connected.wait(), timeout)
+        except asyncio.TimeoutError:
+            missing = sorted(set(self.node_names) - set(self._conns))
+            raise ServeError(
+                f"workers never connected within {timeout:.0f}s: "
+                f"{missing}") from None
+
+    # -- lockstep RPC ------------------------------------------------------
+
+    def stash_dispatch(self, dispatch: tuple[str, str, Any]) -> None:
+        """Record the worker dispatch the current kernel event needs.
+
+        Every kernel event in a serve run resolves to at most one
+        dispatch (a proxy delivery or a worker timer); the run loop
+        forwards it after the event's callback returns.
+        """
+        if self._dispatch is not None:
+            raise ServeError(
+                "one kernel event produced two worker dispatches")
+        self._dispatch = dispatch
+
+    async def _rpc(self, name: str, kind: int, header: dict,
+                   blob: bytes = b"") -> None:
+        """One lockstep round-trip: instruct, await ops, apply them."""
+        try:
+            reader, writer = self._conns[name]
+        except KeyError:
+            raise ServeError(f"no connection for node {name!r}") from None
+        if self.tracer is not None:
+            self.tracer.inc("serve_frames_sent", name)
+        try:
+            await framing.send_frame_async(writer, kind, header, blob)
+            reply_kind, reply, reply_blob = \
+                await framing.recv_frame_async(reader)
+        except (ServeError, ConnectionError) as exc:
+            raise ServeError(
+                f"node {name!r} process died mid-run: {exc}") from None
+        if reply_kind == framing.ERROR:
+            raise ServeError(
+                f"node {name!r} failed: {reply.get('error')}")
+        if reply_kind != framing.OPS:
+            raise ServeError(
+                f"unexpected reply kind {reply_kind} from {name!r}")
+        if self.tracer is not None:
+            self.tracer.inc("serve_frames_recv", name)
+        self._apply_ops(name, reply["ops"], reply_blob)
+
+    def _apply_ops(self, name: str, ops: list[list[Any]],
+                   blob: bytes) -> None:
+        sim = self.topo.sim
+        for op in ops:
+            tag = op[0]
+            if tag == OP_SCHEDULE:
+                _, at, phase, rank, token = op
+                handle = sim.schedule_at(
+                    at, self._marker(name, token), phase=phase,
+                    rank=tuple(rank))
+                self._tokens[(name, token)] = handle
+            elif tag == OP_CANCEL:
+                handle = self._tokens.pop((name, op[1]), None)
+                if handle is not None:
+                    handle.cancel()
+            elif tag == OP_SEND:
+                _, dst, offset, length = op
+                msg = self.transport_codec.decode_message(
+                    bytes(blob[offset:offset + length]))
+                self.topo.network.send(name, dst, msg)
+            elif tag == OP_STOP:
+                self._stop = True
+            elif tag == OP_OUTCOME:
+                _, index, emit_time = op
+                wall = time.monotonic() - self._wall_start
+                self.windows.append(
+                    WindowSample(index, emit_time, wall))
+                if self.tracer is not None:
+                    self.tracer.gauge("serve_window_wall_s", ROOT_NAME,
+                                      wall)
+                    self.tracer.gauge(
+                        "serve_window_latency_s", ROOT_NAME,
+                        max(0.0, wall - emit_time))
+            else:
+                raise ServeError(
+                    f"unknown op {tag!r} from node {name!r}")
+
+    def _marker(self, name: str, token: int) -> Any:
+        def fire() -> None:
+            self._tokens.pop((name, token), None)
+            self.stash_dispatch(("run", name, token))
+        return fire
+
+    # -- run loop ----------------------------------------------------------
+
+    async def run(self) -> None:
+        """Init, lockstep to completion, collect FINAL payloads."""
+        # Replicate run_simulation's order exactly: inject every local
+        # stream (0..n-1), then start root, then start the locals.
+        for i in range(self.ctx.workload.n_nodes):
+            await self._rpc(local_name(i), framing.INJECT,
+                            {"now": 0.0})
+        for name in self.node_names:
+            await self._rpc(name, framing.START, {"now": 0.0})
+        await self._lockstep()
+        for name in self.node_names:
+            reader, writer = self._conns[name]
+            try:
+                await framing.send_frame_async(writer, framing.FINISH,
+                                               {})
+                kind, header, _ = await framing.recv_frame_async(reader)
+            except (ServeError, ConnectionError) as exc:
+                raise ServeError(
+                    f"node {name!r} died before FINAL: {exc}") from None
+            if kind != framing.FINAL:
+                raise ServeError(
+                    f"expected FINAL from {name!r}, got kind {kind}")
+            self.finals[name] = header
+            writer.close()
+
+    async def _lockstep(self) -> None:
+        sim = self.topo.sim
+        cap = simulation_cap_s(self.ctx)
+        paced = not self.config.saturated
+        self._wall_start = time.monotonic()
+        while not self._stop:
+            event = self._peek_live()
+            if event is None:
+                # Mirror run(until=cap) on a drained queue: the clock
+                # still advances to the cap.
+                sim._now = max(sim._now, cap)
+                break
+            if event.time > cap:
+                sim._now = cap
+                break
+            if paced:
+                delay = (self._wall_start + event.time
+                         - time.monotonic())
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            self._dispatch = None
+            sim.run(until=cap, max_events=1)
+            if self._dispatch is not None:
+                verb, name, payload = self._dispatch
+                self._dispatch = None
+                if verb == "run":
+                    await self._rpc(name, framing.RUN,
+                                    {"now": sim.now, "token": payload})
+                else:
+                    frame = self.transport_codec.encode_message(payload)
+                    await self._rpc(name, framing.DELIVER,
+                                    {"now": sim.now}, frame)
+        self.wall_seconds = time.monotonic() - self._wall_start
+
+    def _peek_live(self) -> Any:
+        """Next non-cancelled kernel event (drops lazy-deleted heads)."""
+        queue = self.topo.sim._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        return queue[0] if queue else None

@@ -1,0 +1,167 @@
+"""Length-prefixed control-channel framing for the serve runtime.
+
+One control frame on the coordinator<->worker TCP connection is::
+
+    u32 total_len | u8 kind | u32 header_len | JSON header | binary blob
+
+``total_len`` covers everything after itself, so a reader always knows
+exactly how many bytes to pull off the stream — partial reads can never
+misparse into a different frame.  The JSON header carries the small
+structured part (op lists, tokens, virtual times); the blob carries
+binary wire-codec frames verbatim, referenced from the header by
+``[offset, length]`` pairs so protocol payloads are never re-encoded
+as text.
+
+Both transports are provided: blocking sockets for workers (a worker
+is a plain sequential process — one request, one reply) and asyncio
+streams for the coordinator (which multiplexes every worker
+connection).  :func:`connect_with_retry` gives workers their
+exponential-backoff connection bootstrap, so start order between the
+coordinator and its workers does not matter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import time
+
+from repro.errors import ServeError
+
+# -- frame kinds ---------------------------------------------------------------
+
+#: Worker -> coordinator, first frame: ``{"node": name}``.
+HELLO = 1
+#: Coordinator -> worker handshake reply.
+ACK = 2
+#: Coordinator -> local worker: inject the node's source stream.
+INJECT = 3
+#: Coordinator -> worker: run the behaviour's start hook.
+START = 4
+#: Coordinator -> worker: execute scheduled callback ``token`` at
+#: virtual time ``now``.
+RUN = 5
+#: Coordinator -> worker: deliver the wire frame in the blob at ``now``.
+DELIVER = 6
+#: Worker -> coordinator reply: the ordered op list one dispatch emitted.
+OPS = 7
+#: Coordinator -> worker: the run is over; reply FINAL and exit.
+FINISH = 8
+#: Worker -> coordinator: results, metrics, and trace payload.
+FINAL = 9
+#: Either direction: fatal error description.
+ERROR = 10
+
+_LEN = struct.Struct("<I")
+_HEAD = struct.Struct("<BI")
+
+#: Control frames are small (ops + refs); a frame beyond this is a
+#: corrupted stream, not a workload.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def encode_frame(kind: int, header: dict, blob: bytes = b"") -> bytes:
+    """Serialize one control frame."""
+    head = json.dumps(header, separators=(",", ":")).encode()
+    total = _HEAD.size + len(head) + len(blob)
+    return b"".join((_LEN.pack(total), _HEAD.pack(kind, len(head)),
+                     head, blob))
+
+
+def _parse(kind_head_blob: bytes) -> tuple[int, dict, bytes]:
+    kind, head_len = _HEAD.unpack_from(kind_head_blob, 0)
+    at = _HEAD.size
+    try:
+        header = json.loads(kind_head_blob[at:at + head_len])
+    except ValueError as exc:
+        raise ServeError(f"undecodable control header: {exc}") from None
+    return kind, header, kind_head_blob[at + head_len:]
+
+
+def _check_len(total: int) -> None:
+    if total < _HEAD.size or total > MAX_FRAME_BYTES:
+        raise ServeError(f"implausible control frame length {total}")
+
+
+# -- blocking transport (workers) ----------------------------------------------
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    parts = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ServeError(
+                "control connection closed mid-frame (coordinator gone)")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def send_frame(sock: socket.socket, kind: int, header: dict,
+               blob: bytes = b"") -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(kind, header, blob))
+
+
+def recv_frame(sock: socket.socket) -> tuple[int, dict, bytes]:
+    """Read one frame from a blocking socket."""
+    total = _LEN.unpack(_recv_exactly(sock, _LEN.size))[0]
+    _check_len(total)
+    return _parse(_recv_exactly(sock, total))
+
+
+def connect_with_retry(host: str, port: int, attempts: int = 8,
+                       base_delay: float = 0.05,
+                       backoff: float = 2.0) -> socket.socket:
+    """Connect to the coordinator, retrying with exponential backoff.
+
+    Tries ``attempts`` times with delays ``base_delay * backoff**i``
+    between failures, so a worker started before the coordinator's
+    listener is up simply waits for it.  Raises :class:`ServeError`
+    once every attempt is exhausted.
+    """
+    if attempts < 1:
+        raise ServeError(f"attempts must be >= 1, got {attempts}")
+    delay = base_delay
+    last: OSError | None = None
+    for attempt in range(attempts):
+        try:
+            sock = socket.create_connection((host, port))
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as exc:
+            last = exc
+            if attempt + 1 < attempts:
+                time.sleep(delay)
+                delay *= backoff
+    raise ServeError(
+        f"could not connect to coordinator at {host}:{port} after "
+        f"{attempts} attempts: {last}")
+
+
+# -- asyncio transport (coordinator) -------------------------------------------
+
+async def send_frame_async(writer: asyncio.StreamWriter, kind: int,
+                           header: dict, blob: bytes = b"") -> None:
+    """Write one frame to an asyncio stream."""
+    writer.write(encode_frame(kind, header, blob))
+    await writer.drain()
+
+
+async def recv_frame_async(
+        reader: asyncio.StreamReader) -> tuple[int, dict, bytes]:
+    """Read one frame from an asyncio stream.
+
+    Raises :class:`ServeError` on EOF — a worker connection closing
+    outside the FINISH handshake means its process died.
+    """
+    try:
+        total = _LEN.unpack(await reader.readexactly(_LEN.size))[0]
+        _check_len(total)
+        return _parse(await reader.readexactly(total))
+    except (asyncio.IncompleteReadError, ConnectionError) as exc:
+        raise ServeError(
+            f"worker connection lost mid-frame: {exc}") from None

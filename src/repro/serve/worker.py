@@ -1,0 +1,310 @@
+"""Serve worker: one real node process of the cluster.
+
+A worker owns exactly one node's *state* — its behaviour instance, its
+CPU-queue arithmetic (:class:`ServeNode`, a
+:class:`~repro.runtime.node.RuntimeNode` driver), and its source feeder
+— while the coordinator owns the shared virtual clock and the fabric.
+The split is lockstep RPC: the coordinator tells the worker *what runs
+now* (a scheduled callback token, or a delivered wire frame), the
+worker executes it against real behaviour code, and replies with the
+ordered list of scheduling side effects (:mod:`repro.serve.protocol`
+ops).  Because the ops are applied to the coordinator's kernel in
+emission order — the order the simulator would have made the same
+calls inline — the global schedule is bit-identical to the oracle's.
+
+Run as a module::
+
+    python -m repro.serve.worker --host H --port P --node local-0 \
+        --config '<json>'
+
+Environment:
+
+* ``REPRO_SERVE_CRASH_AFTER=<n>`` — deterministic fault injection for
+  tests: the process hard-exits before replying to its ``n``-th
+  dispatch, simulating a node crash mid-window.
+* ``REPRO_WIRE_CODEC`` / ``REPRO_AGG_INDEX`` / ``REPRO_WORKLOAD_CACHE``
+  are honoured exactly as in the simulator (the harness forwards them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import socket
+import sys
+from typing import Any
+
+from repro.core.runner import RunConfig, make_context
+from repro.core.workload import Workload
+from repro.errors import ServeError, SimulationError
+from repro.obs.tracer import NULL_TRACER
+from repro.runtime.api import (PHASE_PROTOCOL, ROOT_NAME, TimerHandle,
+                               local_name)
+from repro.runtime.feeder import inject_stream
+from repro.runtime.node import Behavior, NodeProfile, RuntimeNode
+from repro.serve import framing
+from repro.serve.protocol import (OP_CANCEL, OP_OUTCOME, OP_SCHEDULE,
+                                  OP_SEND, OP_STOP, config_from_json,
+                                  result_to_json, sender_table)
+from repro.wire.codec import MessageCodec
+
+#: Fault-injection hook: hard-exit before replying to dispatch #n.
+CRASH_ENV = "REPRO_SERVE_CRASH_AFTER"
+
+
+class _ServeTimer:
+    """Worker-side handle mirroring a kernel :class:`ScheduledEvent`."""
+
+    __slots__ = ("token", "cancelled", "_rt")
+
+    def __init__(self, token: int, rt: "WorkerRuntime") -> None:
+        self.token = token
+        self.cancelled = False
+        self._rt = rt
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._rt.cancel_timer(self.token)
+
+
+class ServeNode(RuntimeNode):
+    """The serve driver of :class:`~repro.runtime.node.RuntimeNode`.
+
+    The clock is the coordinator's virtual time (delivered with every
+    dispatch); timers and transmissions become protocol ops instead of
+    direct kernel/fabric calls.  All CPU-queue arithmetic is the
+    inherited driver-agnostic code, so timing cannot drift from the
+    simulator's.
+    """
+
+    def __init__(self, name: str, profile: NodeProfile,
+                 behavior: Behavior | None,
+                 rt: "WorkerRuntime") -> None:
+        super().__init__(name, profile, behavior)
+        self._rt = rt
+
+    @property
+    def now(self) -> float:
+        return self._rt.now
+
+    @property
+    def tracer(self) -> Any:
+        return self._rt.tracer
+
+    def schedule_at(self, time: float, callback: Any,
+                    phase: int = PHASE_PROTOCOL,
+                    rank: tuple[str, ...] = ()) -> TimerHandle:
+        # Mirror the kernel's validation so a bad schedule fails with
+        # the same error on either driver.
+        if time < self._rt.now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now {self._rt.now}")
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite schedule time {time}")
+        return self._rt.add_timer(time, callback, phase, rank)
+
+    def schedule(self, delay: float, callback: Any,
+                 phase: int = PHASE_PROTOCOL,
+                 rank: tuple[str, ...] = ()) -> TimerHandle:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        return self.schedule_at(self._rt.now + delay, callback,
+                                phase=phase, rank=rank)
+
+    def request_stop(self) -> None:
+        self._rt.ops.append([OP_STOP])
+
+    def _transmit(self, dst: str, msg: Any) -> None:
+        self._rt.transmit(dst, msg)
+
+    def start(self) -> None:
+        """Run the behaviour's start hook."""
+        if self.behavior is not None:
+            self.behavior.on_start(self)
+
+
+class WorkerRuntime:
+    """One worker's protocol state machine (transport-independent).
+
+    Separated from the socket loop so tests can drive dispatches
+    directly and assert on the emitted ops.
+    """
+
+    def __init__(self, node_name: str, config: RunConfig,
+                 workload: Workload | None = None) -> None:
+        self.node_name = node_name
+        self.config = config
+        spec, ctx, tracer = make_context(config, workload)
+        self.ctx = ctx
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        local_profile = config.local_profile
+        root_profile = config.root_profile
+        if spec.profile_transform is not None:
+            local_profile = spec.profile_transform(local_profile)
+            root_profile = spec.profile_transform(root_profile)
+        # Construct every behaviour in the simulator's order (root,
+        # then locals): constructors may touch shared context state,
+        # and each worker's context replica must see the exact same
+        # construction effects as the oracle's single shared context.
+        behaviors: dict[str, Behavior] = {ROOT_NAME: spec.root_cls(ctx)}
+        for i in range(ctx.workload.n_nodes):
+            behaviors[local_name(i)] = spec.local_cls(i, ctx)
+        if node_name not in behaviors:
+            raise ServeError(
+                f"unknown node {node_name!r} for a "
+                f"{ctx.workload.n_nodes}-node cluster")
+        self.local_index = (-1 if node_name == ROOT_NAME
+                            else int(node_name.split("-")[1]))
+        profile = (root_profile if node_name == ROOT_NAME
+                   else local_profile)
+        self.node = ServeNode(node_name, profile, behaviors[node_name],
+                              self)
+        self.codec = MessageCodec(spec.fmt)
+        self.codec.seed_senders(sender_table(ctx.workload.n_nodes))
+        self.now = 0.0
+        self._next_token = 0
+        self._timers: dict[int, tuple[Any, _ServeTimer]] = {}
+        # Per-dispatch op buffer (reset by dispatch()).
+        self.ops: list[list[Any]] = []
+        self.opblob = bytearray()
+
+    # -- op emission (called from ServeNode) -------------------------------
+
+    def add_timer(self, time: float, callback: Any, phase: int,
+                  rank: tuple[str, ...]) -> _ServeTimer:
+        token = self._next_token
+        self._next_token += 1
+        handle = _ServeTimer(token, self)
+        self._timers[token] = (callback, handle)
+        self.ops.append([OP_SCHEDULE, time, phase, list(rank), token])
+        return handle
+
+    def cancel_timer(self, token: int) -> None:
+        self._timers.pop(token, None)
+        self.ops.append([OP_CANCEL, token])
+
+    def transmit(self, dst: str, msg: Any) -> None:
+        frame = self.codec.encode_message(msg)
+        offset = len(self.opblob)
+        self.opblob += frame
+        self.ops.append([OP_SEND, dst, offset, len(frame)])
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, kind: int, header: dict,
+                 blob: bytes) -> tuple[list[list[Any]], bytes]:
+        """Execute one coordinator instruction; returns (ops, blob)."""
+        self.ops = []
+        self.opblob = bytearray()
+        self.now = header.get("now", self.now)
+        before = len(self.ctx.result.outcomes)
+        if kind == framing.START:
+            self.node.start()
+        elif kind == framing.INJECT:
+            if self.local_index < 0:
+                raise ServeError("INJECT sent to the root node")
+            stream = self.ctx.workload.streams[self.local_index]
+            inject_stream(self.node, stream,
+                          self.config.resolved_batch_size(),
+                          self.config.saturated,
+                          sender=f"source-{self.local_index}")
+        elif kind == framing.RUN:
+            token = header["token"]
+            try:
+                callback, handle = self._timers.pop(token)
+            except KeyError:
+                raise ServeError(
+                    f"unknown or consumed timer token {token} on "
+                    f"{self.node_name}") from None
+            # The kernel marks an executing event cancelled so a late
+            # cancel() is a no-op; mirror that on the worker handle.
+            handle.cancelled = True
+            callback()
+        elif kind == framing.DELIVER:
+            self.node.deliver(self.codec.decode_message(bytes(blob)))
+        else:
+            raise ServeError(f"unexpected control frame kind {kind}")
+        # Detect window emissions by result delta: behaviours append
+        # outcomes to the shared result record exactly as on the
+        # simulator, so no scheme code needs serve-specific hooks.
+        for outcome in self.ctx.result.outcomes[before:]:
+            self.ops.append([OP_OUTCOME, outcome.index,
+                             outcome.emit_time])
+        return self.ops, bytes(self.opblob)
+
+    def final_payload(self) -> dict[str, Any]:
+        """The FINAL frame header: results, metrics, trace."""
+        payload: dict[str, Any] = {
+            "node": self.node_name,
+            "result": result_to_json(self.ctx.result,
+                                     busy_s=self.node.metrics.busy_s),
+            "trace": None,
+        }
+        if self.tracer is not NULL_TRACER:
+            payload["trace"] = {
+                "events": [[e.kind, e.time, e.node, e.dur, e.data]
+                           for e in self.tracer.events],
+                "counters": [[name, scope, value]
+                             for (name, scope), value
+                             in self.tracer.counters.items()],
+                "gauges": [[name, scope, last, high]
+                           for (name, scope), (last, high)
+                           in self.tracer.gauges.items()],
+            }
+        return payload
+
+
+def serve_forever(sock: socket.socket, rt: WorkerRuntime) -> None:
+    """The worker request loop: dispatch until FINISH (or crash)."""
+    crash_after = int(os.environ.get(CRASH_ENV, "0") or "0")
+    dispatches = 0
+    framing.send_frame(sock, framing.HELLO, {"node": rt.node_name})
+    kind, _, _ = framing.recv_frame(sock)
+    if kind != framing.ACK:
+        raise ServeError(f"expected ACK from coordinator, got {kind}")
+    while True:
+        kind, header, blob = framing.recv_frame(sock)
+        if kind == framing.FINISH:
+            framing.send_frame(sock, framing.FINAL, rt.final_payload())
+            return
+        dispatches += 1
+        if crash_after and dispatches >= crash_after:
+            # Fault injection: die without replying, as a real crashed
+            # process would.  os._exit skips atexit/socket teardown.
+            os._exit(1)
+        try:
+            ops, blob = rt.dispatch(kind, header, blob)
+        except Exception as exc:  # surface worker bugs to the harness
+            framing.send_frame(sock, framing.ERROR, {
+                "node": rt.node_name, "error": f"{type(exc).__name__}: "
+                f"{exc}"})
+            raise
+        framing.send_frame(sock, framing.OPS, {"ops": ops}, blob)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-worker",
+        description="one node process of a repro serve cluster")
+    parser.add_argument("--host", required=True)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--node", required=True,
+                        help="node identity (root or local-<i>)")
+    parser.add_argument("--config", required=True,
+                        help="RunConfig as JSON (see serve.protocol)")
+    args = parser.parse_args(argv)
+    config = config_from_json(json.loads(args.config))
+    rt = WorkerRuntime(args.node, config)
+    sock = framing.connect_with_retry(args.host, args.port)
+    try:
+        serve_forever(sock, rt)
+    finally:
+        sock.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

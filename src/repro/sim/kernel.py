@@ -15,21 +15,14 @@ from typing import Any
 
 from repro.errors import SimulationError
 from repro.obs.tracer import NULL_TRACER
+# Scheduling phases are part of the driver-agnostic runtime interface
+# (both the simulator and the serve coordinator order same-time events
+# by them); re-exported here because the kernel is their executor.
+from repro.runtime.api import (PHASE_DELIVER, PHASE_PROTOCOL,
+                               PHASE_SOURCE)
 
-
-#: Scheduling phases: all same-time events of a lower phase run before
-#: any event of a higher phase.  Protocol/simulation events (handler
-#: completions, timers, behaviour callbacks) use
-#: :data:`PHASE_PROTOCOL`; network *deliveries* use
-#: :data:`PHASE_DELIVER` (a message arriving at the very instant a
-#: handler completes queues after it); workload *injection* (source
-#: feeders, paced arrivals) uses :data:`PHASE_SOURCE`.  Together with
-#: the ``rank`` key these pin every cross-domain same-time ordering by
-#: design instead of by heap-insertion accident — the tie-break salt
-#: permutes equal-time order only *within* a (phase, rank) class.
-PHASE_PROTOCOL = 0
-PHASE_DELIVER = 1
-PHASE_SOURCE = 2
+__all__ = ["PHASE_PROTOCOL", "PHASE_DELIVER", "PHASE_SOURCE",
+           "ScheduledEvent", "Simulator", "Timeout"]
 
 
 class ScheduledEvent:

@@ -14,19 +14,16 @@ from typing import TYPE_CHECKING, Any
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.obs import events as ev
+from repro.runtime.api import (DEFAULT_LATENCY_S, ETHERNET_1G,
+                               ETHERNET_25G)
 from repro.sim.kernel import PHASE_DELIVER, Simulator
 from repro.sim.node import SimNode
 
 if TYPE_CHECKING:
     from repro.wire.codec import MessageCodec
 
-#: 25 Gbit/s Ethernet of the paper's Intel cluster.
-ETHERNET_25G = 25e9 / 8
-#: 1 Gbit/s Ethernet of the Raspberry Pi cluster ("49 MB per second" is
-#: its observed saturation in Fig. 11b).
-ETHERNET_1G = 1e9 / 8
-#: A LAN-scale propagation + switching latency.
-DEFAULT_LATENCY_S = 100e-6
+__all__ = ["DEFAULT_LATENCY_S", "ETHERNET_1G", "ETHERNET_25G",
+           "Link", "LinkStats", "Network"]
 
 
 @dataclass

@@ -14,18 +14,17 @@ from collections.abc import Callable
 from typing import Any
 
 from repro.errors import ConfigurationError
+# Node identity is part of the driver-agnostic runtime interface;
+# re-exported here for existing importers.
+from repro.runtime.api import ROOT_NAME, local_name
 from repro.sim.kernel import Simulator
 from repro.sim.network import (DEFAULT_LATENCY_S, ETHERNET_1G,
                                ETHERNET_25G, Network)
 from repro.sim.node import (INTEL_XEON, RASPBERRY_PI_4B, Behavior,
                             NodeProfile, SimNode)
 
-ROOT_NAME = "root"
-
-
-def local_name(i: int) -> str:
-    """Canonical name of local node ``i``."""
-    return f"local-{i}"
+__all__ = ["ROOT_NAME", "local_name", "StarTopology", "build_star",
+           "build_rpi_star", "peer_mesh"]
 
 
 @dataclass
@@ -83,7 +82,9 @@ def build_star(n_locals: int, sizer: Callable[[Any], int], *,
                latency: float = DEFAULT_LATENCY_S,
                root_behavior: Behavior | None = None,
                local_behavior_factory: Callable[[int], Behavior] | None = None,
-               tiebreak_salt: int = 0) -> StarTopology:
+               tiebreak_salt: int = 0,
+               node_factory: Callable[..., SimNode] = SimNode
+               ) -> StarTopology:
     """Build a star cluster of one root and ``n_locals`` local nodes.
 
     Args:
@@ -96,19 +97,23 @@ def build_star(n_locals: int, sizer: Callable[[Any], int], *,
         tiebreak_salt: Same-time event-order permutation salt for the
             determinism contract (see :class:`~repro.sim.kernel.
             Simulator`); results must not depend on it.
+        node_factory: ``(sim, name, profile, behavior) -> SimNode``;
+            lets the serve coordinator wire the same fabric over proxy
+            nodes so the topology (and thus every link/NIC reservation)
+            cannot differ from the simulator's.
     """
     if n_locals < 1:
         raise ConfigurationError(f"need >= 1 local node, got {n_locals}")
     sim = Simulator(tiebreak_salt=tiebreak_salt)
     network = Network(sim, sizer, default_bandwidth=bandwidth,
                       default_latency=latency)
-    root = SimNode(sim, ROOT_NAME, root_profile, root_behavior)
+    root = node_factory(sim, ROOT_NAME, root_profile, root_behavior)
     network.attach(root)
     topo = StarTopology(sim=sim, network=network, root=root)
     for i in range(n_locals):
         behavior = (local_behavior_factory(i)
                     if local_behavior_factory is not None else None)
-        node = SimNode(sim, local_name(i), local_profile, behavior)
+        node = node_factory(sim, local_name(i), local_profile, behavior)
         network.attach(node)
         network.connect(node.name, ROOT_NAME)
         topo.locals.append(node)

@@ -41,7 +41,7 @@ from repro.core.protocol import (CorrectionReport, CorrectionRequest,
                                  SourceBatch, StartWindow,
                                  WindowAssignment)
 from repro.errors import StreamError
-from repro.sim.serialization import WireFormat
+from repro.runtime.serialization import WireFormat
 from repro.streams.batch import EventBatch
 from repro.wire.format import (HEADER_STRUCT, WIRE_HEADER_BYTES,
                                WIRE_MAGIC, WIRE_VERSION, append_columns,
@@ -140,6 +140,23 @@ class MessageCodec:
         self.bytes_framed = 0
 
     # -- sender interning --------------------------------------------------
+
+    def seed_senders(self, names: list[str]) -> None:
+        """Pre-install a canonical sender table (handshake replay).
+
+        Interning is otherwise first-use order, which is fine within
+        one process but ambiguous across processes: the serve runtime's
+        coordinator and workers each hold their own codec, so both
+        sides seed the same table up front and every frame's ``int32``
+        routing slot resolves identically everywhere.  Seeding must
+        happen before any frame is encoded.
+        """
+        if self._sender_names:
+            raise StreamError(
+                "sender table already populated; seed_senders must run "
+                "before the first encode/decode")
+        for name in names:
+            self._sender_id(name)
 
     def _sender_id(self, sender: str) -> int:
         sid = self._sender_ids.get(sender)

@@ -33,7 +33,7 @@ class TestFramework:
         rule_codes = [r.code for r in all_rules()]
         assert rule_codes == sorted(rule_codes)
         assert rule_codes == ["DL001", "DL002", "DL003", "DL004",
-                              "DL005", "DL006"]
+                              "DL005", "DL006", "DL007"]
 
     def test_every_rule_has_docs(self):
         for rule in all_rules():
@@ -293,7 +293,7 @@ class TestDL005SharedMutableState:
 
 class TestDL006WireSizeArithmetic:
     def test_size_table_arithmetic_fires(self):
-        src = ("from repro.sim.serialization import EVENT_BYTES\n"
+        src = ("from repro.runtime.serialization import EVENT_BYTES\n"
                "def size(fmt, n):\n"
                "    return n * EVENT_BYTES[fmt]\n")
         assert codes(lint_source(src, CORE_PATH)) == ["DL006"]
@@ -330,7 +330,7 @@ class TestDL006WireSizeArithmetic:
         assert codes(lint_source(src, SCRIPT_PATH)) == ["DL006"]
 
     def test_plain_reads_pass(self):
-        src = ("from repro.sim.serialization import EVENT_BYTES\n"
+        src = ("from repro.runtime.serialization import EVENT_BYTES\n"
                "def lookup(fmt):\n"
                "    return EVENT_BYTES[fmt]\n")
         assert lint_source(src, CORE_PATH) == []
@@ -339,6 +339,55 @@ class TestDL006WireSizeArithmetic:
         src = ("from repro.core.protocol import sizeof_message\n"
                "def cost(msgs, fmt):\n"
                "    return sum(sizeof_message(m, fmt) for m in msgs)\n")
+        assert lint_source(src, CORE_PATH) == []
+
+
+class TestDL007SimImportBoundary:
+    BASELINES_PATH = "src/repro/baselines/fixture.py"
+
+    def test_import_from_fires_in_core(self):
+        src = ("from repro.sim.kernel import Simulator\n"
+               "def build():\n"
+               "    return Simulator()\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL007"]
+
+    def test_plain_import_fires_in_baselines(self):
+        src = "import repro.sim.topology as topo\n"
+        assert codes(lint_source(
+            src, self.BASELINES_PATH)) == ["DL007"]
+
+    def test_package_import_fires(self):
+        src = "from repro.sim import topology\n"
+        assert codes(lint_source(src, CORE_PATH)) == ["DL007"]
+
+    def test_runtime_imports_pass(self):
+        src = ("from repro.runtime.api import ROOT_NAME\n"
+               "from repro.runtime.node import RuntimeNode, Timeout\n"
+               "from repro.runtime.serialization import message_size\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_similar_prefix_passes(self):
+        # `repro.simulate` is not `repro.sim` — prefix matching must
+        # respect the module boundary.
+        src = "from repro.simulate import thing\n"
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_sim_and_scripts_are_out_of_scope(self):
+        src = "from repro.sim.kernel import Simulator\n"
+        assert lint_source(src, SIM_PATH) == []
+        assert lint_source(src, SCRIPT_PATH) == []
+
+    def test_type_checking_imports_pass(self):
+        src = ("from typing import TYPE_CHECKING\n"
+               "if TYPE_CHECKING:\n"
+               "    from repro.sim.topology import StarTopology\n"
+               "def f(t: 'StarTopology') -> None:\n"
+               "    pass\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_suppression(self):
+        src = ("from repro.sim.kernel import Simulator"
+               "  # decolint: disable=DL007\n")
         assert lint_source(src, CORE_PATH) == []
 
 

@@ -69,6 +69,45 @@ class TestExperiment:
         assert "deco_async" in out
 
 
+class TestServe:
+    def test_serve_prints_load_report(self, capsys):
+        code = main(["serve", "deco_sync", "--nodes", "2", "--window",
+                     "400", "--windows", "3", "--rate", "20000",
+                     "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deco_sync" in out
+        assert "p99 ms" in out
+
+    def test_trace_runtime_serve(self, capsys, tmp_path):
+        out = tmp_path / "serve_trace.json"
+        code = main(["trace", "--scheme", "deco_sync", "--nodes", "2",
+                     "--window", "400", "--windows", "3", "--rate",
+                     "20000", "--seed", "7", "--runtime", "serve",
+                     "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "deco_sync" in printed
+        assert "root" in printed  # per-node summary table
+        import json
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+
+    def test_bench_serve_writes_json(self, capsys, tmp_path,
+                                     monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        out_path = tmp_path / "BENCH_serve.json"
+        code = main(["bench-serve", "--schemes", "central",
+                     "--out", str(out_path)])
+        assert code == 0
+        import json
+        payload = json.loads(out_path.read_text())
+        assert payload["fingerprints_verified"] is True
+        assert payload["central_throughput_eps"] > 0
+        assert payload["central_latency_p99_ms"] >= \
+            payload["central_latency_p50_ms"]
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,162 @@
+"""Tests for the serve runtime: real node processes over TCP.
+
+The headline contract is oracle fidelity: for every registered scheme,
+running the cluster as real OS processes speaking the binary wire codec
+over TCP produces a :class:`RunResult` whose determinism fingerprint is
+*bit-identical* to the in-process simulator driver's.  The simulator is
+the oracle; any divergence is a serve bug by definition.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.determinism import Fingerprint
+from repro.core.runner import RunConfig, available_schemes, run_scheme
+from repro.errors import ServeError, StreamError
+from repro.obs.tracer import RunTracer
+from repro.runtime.api import ROOT_NAME
+from repro.serve import percentile, run_scheme_served
+from repro.runtime.serialization import WireFormat
+from repro.serve.protocol import (config_from_json, config_to_json,
+                                  outcome_from_json, outcome_to_json,
+                                  sender_table)
+from repro.serve.worker import WorkerRuntime
+from repro.wire.codec import MessageCodec
+
+import repro.core  # noqa: F401  (registers deco_* schemes)
+import repro.baselines  # noqa: F401  (registers baselines)
+
+
+def tiny_config(scheme, **overrides):
+    """A cluster run small enough to serve in well under a second."""
+    kwargs = dict(scheme=scheme, n_nodes=2, window_size=400,
+                  n_windows=3, rate_per_node=20_000.0, seed=7)
+    kwargs.update(overrides)
+    return RunConfig(**kwargs)
+
+
+class TestProtocolUnits:
+    def test_config_json_roundtrip(self):
+        config = tiny_config("deco_sync", saturated=False)
+        blob = json.dumps(config_to_json(config))
+        assert config_from_json(json.loads(blob)) == config
+
+    def test_config_json_rejects_unknown_fields(self):
+        payload = config_to_json(tiny_config("central"))
+        payload["surprise"] = 1
+        with pytest.raises(ServeError):
+            config_from_json(payload)
+
+    def test_sender_table_order(self):
+        assert sender_table(2) == [ROOT_NAME, "local-0", "local-1"]
+
+    def test_seed_senders_is_once_only(self):
+        codec = MessageCodec(WireFormat.BINARY)
+        codec.seed_senders(sender_table(2))
+        with pytest.raises(StreamError):
+            codec.seed_senders(sender_table(2))
+
+    def test_outcome_roundtrip_preserves_span_keys(self):
+        config = tiny_config("deco_sync")
+        result, _ = run_scheme(config)
+        for outcome in result.outcomes:
+            wire = json.loads(json.dumps(outcome_to_json(outcome)))
+            back = outcome_from_json(wire)
+            assert back.spans == outcome.spans
+            assert back.result == outcome.result
+            assert back.emit_time == outcome.emit_time
+            assert back.corrected == outcome.corrected
+
+    def test_percentile_nearest_rank(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 0.50) == 50.0
+        assert percentile(samples, 0.95) == 95.0
+        assert percentile(samples, 0.99) == 99.0
+        assert math.isnan(percentile([], 0.5))
+
+
+class TestWorkerRuntimeUnits:
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ServeError, match="unknown node"):
+            WorkerRuntime("local-9", tiny_config("deco_sync"))
+
+    def test_run_with_unknown_token_rejected(self):
+        from repro.serve import framing
+        rt = WorkerRuntime("local-0", tiny_config("deco_sync"))
+        with pytest.raises(ServeError, match="token"):
+            rt.dispatch(framing.RUN, {"now": 0.0, "token": 123}, b"")
+
+    def test_inject_to_root_rejected(self):
+        from repro.serve import framing
+        rt = WorkerRuntime(ROOT_NAME, tiny_config("deco_sync"))
+        with pytest.raises(ServeError, match="root"):
+            rt.dispatch(framing.INJECT, {"now": 0.0}, b"")
+
+    def test_inject_emits_schedule_ops(self):
+        from repro.serve import framing
+        rt = WorkerRuntime("local-0", tiny_config("deco_sync"))
+        ops, _ = rt.dispatch(framing.INJECT, {"now": 0.0}, b"")
+        assert ops, "injecting a stream must schedule arrivals"
+        assert all(op[0] == "schedule" for op in ops)
+
+
+class TestServeMatchesSimulator:
+    """The tentpole assertion: serve ≡ simulator, every scheme."""
+
+    @pytest.mark.parametrize("scheme", sorted(available_schemes()))
+    def test_fingerprint_identity(self, scheme):
+        config = tiny_config(scheme)
+        sim_result, _ = run_scheme(config)
+        report = run_scheme_served(config)
+        assert Fingerprint.of(report.result) == \
+            Fingerprint.of(sim_result)
+
+    def test_paced_mode_identity_and_latency(self):
+        config = tiny_config("deco_sync", saturated=False)
+        sim_result, _ = run_scheme(config)
+        report = run_scheme_served(config)
+        assert Fingerprint.of(report.result) == \
+            Fingerprint.of(sim_result)
+        assert not report.saturated
+        lat = report.window_latencies_s()
+        assert len(lat) == config.n_windows
+        assert all(sample >= 0.0 for sample in lat)
+        pct = report.latency_percentiles()
+        assert pct["p50_s"] <= pct["p95_s"] <= pct["p99_s"]
+        assert math.isfinite(pct["p99_s"])
+
+    def test_wire_codec_disabled_still_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE_CODEC", "0")
+        config = tiny_config("deco_async", n_nodes=3)
+        sim_result, _ = run_scheme(config)
+        report = run_scheme_served(config)
+        assert Fingerprint.of(report.result) == \
+            Fingerprint.of(sim_result)
+
+    def test_throughput_reported(self):
+        report = run_scheme_served(tiny_config("central"))
+        assert report.events_total > 0
+        assert report.wall_seconds > 0
+        assert report.throughput_eps > 0
+
+
+class TestServeTracing:
+    def test_trace_flows_through_serve(self):
+        tracer = RunTracer()
+        report = run_scheme_served(tiny_config("deco_sync"),
+                                   tracer=tracer)
+        assert report.tracer is tracer
+        assert tracer.meta["runtime"] == "serve"
+        kinds = {e.kind for e in tracer.events}
+        # Worker-side behaviour tracing made it back to the merged
+        # trace alongside the coordinator's fabric events.
+        assert "window" in kinds
+        assert "msg_send" in kinds
+        # Per-frame transport counters, per-window latency gauges.
+        assert tracer.counters[("serve_frames_sent", ROOT_NAME)] > 0
+        assert tracer.counters[("serve_frames_recv", ROOT_NAME)] > 0
+        assert ("serve_window_latency_s", ROOT_NAME) in tracer.gauges
+        times = [e.time for e in tracer.events]
+        assert times == sorted(times)

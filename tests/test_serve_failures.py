@@ -1,0 +1,123 @@
+"""Failure-path tests for the serve runtime.
+
+A load-testing runtime earns its keep on the unhappy paths: a node
+process crashing mid-window must surface as a :class:`ServeError`
+naming the node (not a hang), worker connections must retry with
+backoff while the coordinator's listener comes up, and a finished run
+must drain gracefully — every worker exits 0 on its own, no process
+left behind.
+"""
+
+import asyncio
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.runner import RunConfig
+from repro.errors import ServeError
+from repro.serve import run_scheme_served
+from repro.serve.coordinator import Coordinator
+from repro.serve.framing import connect_with_retry
+from repro.serve.worker import CRASH_ENV
+
+import repro.core  # noqa: F401  (registers deco_* schemes)
+import repro.baselines  # noqa: F401  (registers baselines)
+
+
+def tiny_config(scheme="deco_sync", **overrides):
+    kwargs = dict(scheme=scheme, n_nodes=2, window_size=400,
+                  n_windows=3, rate_per_node=20_000.0, seed=7)
+    kwargs.update(overrides)
+    return RunConfig(**kwargs)
+
+
+def lingering_workers():
+    """PIDs of serve worker processes still alive on this machine."""
+    import os
+    pids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/cmdline", "rb") as fh:
+                cmdline = fh.read()
+        except OSError:
+            continue
+        if b"repro.serve.worker" in cmdline:
+            pids.append(int(entry))
+    return pids
+
+
+class TestNodeCrash:
+    def test_crash_mid_window_raises_and_cleans_up(self, monkeypatch):
+        # Every worker self-destructs before replying to its third
+        # dispatch (INJECT, START, first timer) — a crash mid-window.
+        monkeypatch.setenv(CRASH_ENV, "3")
+        with pytest.raises(ServeError) as excinfo:
+            run_scheme_served(tiny_config())
+        message = str(excinfo.value)
+        assert "died" in message
+        assert "exited 1" in message
+        # The harness must have reaped or terminated every worker.
+        deadline = time.monotonic() + 10.0
+        while lingering_workers() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert lingering_workers() == []
+
+
+class TestConnectRetry:
+    def test_retries_until_listener_appears(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        accepted = []
+
+        def late_listener():
+            time.sleep(0.15)
+            server = socket.socket()
+            server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            server.bind(("127.0.0.1", port))
+            server.listen(1)
+            conn, _ = server.accept()
+            accepted.append(True)
+            conn.close()
+            server.close()
+
+        thread = threading.Thread(target=late_listener, daemon=True)
+        thread.start()
+        sock = connect_with_retry("127.0.0.1", port, attempts=8,
+                                  base_delay=0.05)
+        sock.close()
+        thread.join(timeout=5.0)
+        assert accepted == [True]
+
+    def test_exhausted_attempts_raise(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        start = time.monotonic()
+        with pytest.raises(ServeError, match="could not connect"):
+            connect_with_retry("127.0.0.1", port, attempts=3,
+                               base_delay=0.01)
+        # Backoff actually waited between attempts (0.01 + 0.02).
+        assert time.monotonic() - start >= 0.03
+
+
+class TestHandshakeTimeout:
+    def test_missing_workers_named(self):
+        coord = Coordinator(tiny_config())
+        with pytest.raises(ServeError, match="local-1"):
+            asyncio.run(coord.wait_for_workers(timeout=0.05))
+
+
+class TestGracefulShutdown:
+    def test_all_workers_exit_zero_after_final(self):
+        # run_scheme_served itself raises if any worker lingers or
+        # exits non-zero after FINAL; success means the drain worked.
+        report = run_scheme_served(tiny_config("central"))
+        assert report.result.n_windows == 3
+        assert lingering_workers() == []
