@@ -88,7 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("schemes", help="list registered schemes")
 
-    def add_run_args(p):
+    def add_run_args(p, load_flag="--mode"):
         p.add_argument("--nodes", type=int, default=2,
                        help="local node count")
         p.add_argument("--window", type=int, default=10_000,
@@ -100,8 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--rate-change", type=float, default=0.01,
                        help="rate-change fraction (0.01 = 1%%)")
         p.add_argument("--aggregate", default="sum")
-        p.add_argument("--mode", choices=("throughput", "latency"),
-                       default="throughput")
+        # ``serve`` names this --load (its --mode picks the
+        # coordination mode); everywhere else it stays --mode.
+        p.add_argument(load_flag, dest="load",
+                       choices=("throughput", "latency"),
+                       default="throughput",
+                       help="throughput = saturated input; latency = "
+                            "paced arrivals")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--delta-m", type=int, default=4)
         p.add_argument("--min-delta", type=int, default=4)
@@ -149,7 +154,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p = sub.add_parser(
         "serve", help="run one scheme as real node processes over TCP")
     serve_p.add_argument("scheme")
-    add_run_args(serve_p)
+    add_run_args(serve_p, load_flag="--load")
+    serve_p.add_argument("--mode", choices=("epoch", "lockstep"),
+                         default="epoch",
+                         help="epoch = concurrent conservative-"
+                              "lookahead batches (default); lockstep = "
+                              "one kernel event per round-trip (the "
+                              "verification oracle's pace)")
+    serve_p.add_argument("--sources", type=int, default=1,
+                         help="concurrent paced source clients per "
+                              "local node (--load latency only)")
     serve_p.add_argument("--verify", action="store_true",
                          help="also run the simulator and assert the "
                               "serve fingerprint matches it")
@@ -166,6 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--out", default=None,
                          help="output path (default: BENCH_serve.json "
                               "at the repo root)")
+    bench_p.add_argument("--floor", type=float, default=None,
+                         help="minimum epoch/lockstep saturated-"
+                              "throughput ratio per scheme; below it "
+                              "the benchmark fails (CI perf gate)")
 
     lint_p = sub.add_parser(
         "lint", help="run deco-lint (rules DL001-DL007)")
@@ -184,7 +202,7 @@ def _run_kwargs(args) -> dict:
     return dict(n_nodes=args.nodes, window_size=args.window,
                 n_windows=args.windows, rate_per_node=args.rate,
                 rate_change=args.rate_change, aggregate=args.aggregate,
-                mode=args.mode, seed=args.seed, delta_m=args.delta_m,
+                mode=args.load, seed=args.seed, delta_m=args.delta_m,
                 min_delta=args.min_delta)
 
 
@@ -245,7 +263,7 @@ def main(argv: list[str] | None = None) -> int:
                 tracer=tracer)
             summary = _summarize(
                 _make_config(args.scheme, **_run_kwargs(args)),
-                args.mode, report.result, report.workload)
+                args.load, report.result, report.workload)
         else:
             summary = run(args.scheme, trace=True, **_run_kwargs(args))
             tracer = summary.trace
@@ -267,13 +285,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         from repro.api import _make_config
         from repro.serve import run_scheme_served
-        config = _make_config(args.scheme, **_run_kwargs(args))
-        report = run_scheme_served(config)
+        if args.sources > 1 and args.load != "latency":
+            print("--sources needs --load latency (paced arrivals); "
+                  "a saturated feed has no arrival schedule to split",
+                  file=sys.stderr)
+            return 2
+        config = _make_config(args.scheme,
+                              sources_per_node=args.sources,
+                              **_run_kwargs(args))
+        report = run_scheme_served(config, mode=args.mode)
         pct = report.latency_percentiles()
         print(format_table(
-            ["scheme", "windows", "wall s", "throughput ev/s",
+            ["scheme", "mode", "windows", "wall s", "throughput ev/s",
              "p50 ms", "p95 ms", "p99 ms"],
-            [[args.scheme, str(report.result.n_windows),
+            [[args.scheme, args.mode, str(report.result.n_windows),
               f"{report.wall_seconds:.3f}",
               format_si(report.throughput_eps, ""),
               f"{pct['p50_s'] * 1e3:.3f}",
@@ -293,7 +318,8 @@ def main(argv: list[str] | None = None) -> int:
                    if args.schemes else BENCH_SCHEMES)
         quick = args.quick or None
         out = Path(args.out) if args.out else None
-        run_bench(schemes=schemes, quick=quick, out_path=out)
+        run_bench(schemes=schemes, quick=quick, out_path=out,
+                  floor=args.floor)
         return 0
 
     if args.command == "compare":

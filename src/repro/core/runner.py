@@ -109,6 +109,14 @@ class RunConfig:
     #: Data streams feeding each local node (Section 3's model; the
     #: node's rate is the sum over its streams).
     streams_per_node: int = 1
+    #: Concurrent paced source clients per local node: the feeder
+    #: splits each node's stream into this many strided substreams,
+    #: each batching/delivering on its own timestamps (many-client load
+    #: generation; see :func:`repro.runtime.feeder.inject_stream`).
+    #: Unlike :attr:`streams_per_node` this does not change the
+    #: generated workload — only the injection schedule — so it is not
+    #: part of :meth:`workload_key`.  Paced runs only.
+    sources_per_node: int = 1
     aggregate: str = "sum"
     delta_m: int = 1
     min_delta: int = 0
@@ -236,10 +244,11 @@ def build_run(config: RunConfig,
 
 
 def inject_sources(topo: "StarTopology", ctx: SchemeContext,
-                   batch_size: int, saturated: bool) -> None:
+                   batch_size: int, saturated: bool,
+                   sources: int = 1) -> None:
     """See :func:`repro.runtime.driver.inject_sources`."""
     from repro.runtime.driver import inject_sources as _impl
-    _impl(topo, ctx, batch_size, saturated)
+    _impl(topo, ctx, batch_size, saturated, sources)
 
 
 def collect(topo: "StarTopology", ctx: SchemeContext) -> RunResult:
@@ -255,7 +264,8 @@ def simulation_cap_s(ctx: SchemeContext) -> float:
 
 
 def run_simulation(topo: "StarTopology", ctx: SchemeContext,
-                   batch_size: int, saturated: bool) -> RunResult:
+                   batch_size: int, saturated: bool,
+                   sources: int = 1) -> RunResult:
     """See :func:`repro.runtime.driver.run_simulation`."""
     from repro.runtime.driver import run_simulation as _impl
-    return _impl(topo, ctx, batch_size, saturated)
+    return _impl(topo, ctx, batch_size, saturated, sources)

@@ -2,7 +2,8 @@
 
 from repro.metrics.correctness import (correctness, per_window_correctness,
                                        results_match, window_overlap)
-from repro.metrics.latency import (mean_latency, percentile_latency,
+from repro.metrics.latency import (dropped_windows, latency_summary,
+                                   mean_latency, percentile_latency,
                                    trigger_times, window_latencies)
 from repro.metrics.network import (bytes_per_event,
                                    mean_bandwidth_bytes_per_s,
@@ -22,6 +23,8 @@ __all__ = [
     "mean_latency",
     "percentile_latency",
     "window_latencies",
+    "latency_summary",
+    "dropped_windows",
     "trigger_times",
     "total_network_bytes",
     "bytes_per_event",

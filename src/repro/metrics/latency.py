@@ -51,47 +51,104 @@ def trigger_times(workload: Workload, batch_size: int) -> np.ndarray:
     return triggers
 
 
+#: Policies for windows a run never emitted (fault runs drop windows):
+#: ``"error"`` refuses to compute a distribution at all, ``"exclude"``
+#: measures survivors only (pair it with the dropped count from
+#: :func:`latency_summary`), ``"penalize"`` charges each dropped window
+#: the time from its completion trigger to the end of the run — a lower
+#: bound on its true latency that keeps tails honest.
+MISSING_POLICIES = ("error", "exclude", "penalize")
+
+
+def dropped_windows(result: RunResult, workload: Workload,
+                    skip_bootstrap: int = 3) -> list[int]:
+    """Steady-state window indices the run never emitted."""
+    present = {o.index for o in result.outcomes}
+    return sorted(set(range(skip_bootstrap, workload.n_windows))
+                  - present)
+
+
 def window_latencies(result: RunResult, workload: Workload,
-                     batch_size: int,
-                     skip_bootstrap: int = 3) -> np.ndarray:
+                     batch_size: int, skip_bootstrap: int = 3,
+                     missing: str = "error") -> np.ndarray:
     """Per-window result latency in seconds for a *paced* run.
 
     Windows with index below ``skip_bootstrap`` are excluded: Deco's
     initialization windows are centralized by design and would skew the
     steady-state distribution the paper plots.
 
-    Every steady-state window the workload defines must be present —
-    a fault run that silently lost windows would otherwise report a
-    distribution over survivors only, biasing the percentiles low; a
-    :class:`ConfigurationError` names the missing windows instead.
+    ``missing`` picks the dropped-window policy (see
+    :data:`MISSING_POLICIES`).  The default ``"error"`` raises a
+    :class:`ConfigurationError` naming the missing windows — a fault
+    run that silently lost windows would otherwise report a
+    distribution over survivors only, biasing the percentiles low.
+    Callers measuring fault runs must opt into ``"exclude"`` or
+    ``"penalize"`` explicitly (and should report the dropped count;
+    :func:`latency_summary` does both).
     """
+    if missing not in MISSING_POLICIES:
+        raise ConfigurationError(
+            f"unknown missing-window policy {missing!r}; "
+            f"expected one of {MISSING_POLICIES}")
     triggers = trigger_times(workload, batch_size)
     outcomes = sorted(result.outcomes, key=lambda o: o.index)
     steady = [o for o in outcomes if o.index >= skip_bootstrap]
-    if not steady:
+    dropped = dropped_windows(result, workload, skip_bootstrap)
+    if dropped and missing == "error":
+        raise ConfigurationError(
+            f"windows {dropped} missing from run outcomes; the "
+            f"steady-state latency distribution would be biased "
+            f"(pass missing='exclude' or 'penalize' to measure a "
+            f"fault run)")
+    latencies = {o.index: o.emit_time - triggers[o.index]
+                 for o in steady}
+    if missing == "penalize":
+        for g in dropped:
+            latencies[g] = (max(result.sim_time, triggers[g])
+                            - triggers[g])
+    if not latencies:
         raise ConfigurationError(
             f"no windows after skipping {skip_bootstrap} bootstrap "
             f"windows")
-    missing = sorted(set(range(skip_bootstrap, workload.n_windows))
-                     - {o.index for o in steady})
-    if missing:
-        raise ConfigurationError(
-            f"windows {missing} missing from run outcomes; the "
-            f"steady-state latency distribution would be biased")
-    return np.asarray([o.emit_time - triggers[o.index] for o in steady])
+    return np.asarray([latencies[g] for g in sorted(latencies)])
+
+
+def latency_summary(result: RunResult, workload: Workload,
+                    batch_size: int, skip_bootstrap: int = 3,
+                    missing: str = "exclude") -> dict[str, float]:
+    """Latency stats that are explicit about dropped windows.
+
+    Returns mean/p50/p95/p99 (seconds) under the chosen
+    missing-window policy plus ``n_measured``/``n_dropped`` counts, so
+    a fault run can never present a survivors-only distribution as if
+    it were complete.
+    """
+    lat = window_latencies(result, workload, batch_size,
+                           skip_bootstrap, missing=missing)
+    dropped = dropped_windows(result, workload, skip_bootstrap)
+    return {
+        "mean_s": float(np.mean(lat)),
+        "p50_s": float(np.percentile(lat, 50)),
+        "p95_s": float(np.percentile(lat, 95)),
+        "p99_s": float(np.percentile(lat, 99)),
+        "n_measured": float(lat.size),
+        "n_dropped": float(len(dropped)),
+    }
 
 
 def mean_latency(result: RunResult, workload: Workload,
-                 batch_size: int, skip_bootstrap: int = 3) -> float:
+                 batch_size: int, skip_bootstrap: int = 3,
+                 missing: str = "error") -> float:
     """Mean steady-state window latency in seconds."""
     return float(np.mean(window_latencies(result, workload, batch_size,
-                                          skip_bootstrap)))
+                                          skip_bootstrap, missing)))
 
 
 def percentile_latency(result: RunResult, workload: Workload,
                        batch_size: int, q: float,
-                       skip_bootstrap: int = 3) -> float:
+                       skip_bootstrap: int = 3,
+                       missing: str = "error") -> float:
     """A latency percentile (``q`` in [0, 100]) in seconds."""
     return float(np.percentile(
-        window_latencies(result, workload, batch_size, skip_bootstrap),
-        q))
+        window_latencies(result, workload, batch_size, skip_bootstrap,
+                         missing), q))

@@ -78,17 +78,20 @@ def build_run(config: RunConfig,
 
 
 def inject_sources(topo: StarTopology, ctx: SchemeContext,
-                   batch_size: int, saturated: bool) -> None:
+                   batch_size: int, saturated: bool,
+                   sources: int = 1) -> None:
     """Schedule every node's stream as SourceBatch deliveries.
 
     Injection is trimmed to what the measured windows need plus a small
     tail (prediction buffers extend past the last boundary), so that
     byte/CPU accounting is comparable across schemes instead of
     depending on when each scheme's simulation happens to stop.
+    ``sources`` fans each paced stream out to that many concurrent
+    clients (see :func:`repro.runtime.feeder.inject_stream`).
     """
     for i, stream in enumerate(ctx.workload.streams):
         inject_stream(topo.local(i), stream, batch_size, saturated,
-                      sender=f"source-{i}")
+                      sender=f"source-{i}", sources=sources)
 
 
 def collect(topo: StarTopology, ctx: SchemeContext) -> RunResult:
@@ -123,9 +126,10 @@ def simulation_cap_s(ctx: SchemeContext) -> float:
 
 
 def run_simulation(topo: StarTopology, ctx: SchemeContext,
-                   batch_size: int, saturated: bool) -> RunResult:
+                   batch_size: int, saturated: bool,
+                   sources: int = 1) -> RunResult:
     """Inject sources, run to completion (or the safety cap), collect."""
-    inject_sources(topo, ctx, batch_size, saturated)
+    inject_sources(topo, ctx, batch_size, saturated, sources)
     topo.start()
     topo.sim.run(until=simulation_cap_s(ctx))
     return collect(topo, ctx)
@@ -138,7 +142,7 @@ def run_scheme_simulated(config: RunConfig,
     """Run one scheme on the simulator; returns result + workload."""
     topo, ctx = build_run(config, workload, tracer)
     result = run_simulation(topo, ctx, config.resolved_batch_size(),
-                            config.saturated)
+                            config.saturated, config.sources_per_node)
     if result.n_windows < ctx.n_windows:
         raise SimulationError(
             f"scheme {config.scheme!r} stalled: emitted "

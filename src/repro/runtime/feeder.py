@@ -11,6 +11,7 @@ identical under the simulator and the serve runtime.
 from __future__ import annotations
 
 from repro.core.protocol import SourceBatch
+from repro.errors import ConfigurationError
 from repro.runtime.api import PHASE_SOURCE
 from repro.runtime.node import RuntimeNode
 from repro.streams.batch import EventBatch
@@ -19,17 +20,36 @@ from repro.streams.event import ticks_to_seconds
 
 def inject_stream(node: RuntimeNode, stream: EventBatch,
                   batch_size: int, saturated: bool,
-                  sender: str) -> None:
+                  sender: str, sources: int = 1) -> None:
     """Schedule one node's stream as SourceBatch deliveries.
 
     The whole generated stream is injected: speculative schemes (and
     Approx's drifting static split) may need events well past the last
     measured boundary, and the run stops at the last emission anyway.
+
+    ``sources`` splits a *paced* stream into that many concurrent
+    clients (strided substreams ``stream[k::sources]``), each batching
+    and delivering on its own timestamps — the many-client load shape
+    of a real IoT gateway, where a node's rate is the sum of its
+    clients' rates.  Every source client's deliveries carry a distinct
+    schedule rank so same-instant batches from different clients land
+    in a canonical order (count-based windowing makes the node-local
+    arrival order result-affecting; without the rank the result would
+    depend on the kernel tie-break salt).  Saturated runs model one
+    closed feedback loop per node, so ``sources > 1`` is rejected
+    there.
     """
+    if sources < 1:
+        raise ConfigurationError(
+            f"sources must be >= 1, got {sources}")
     limit = len(stream)
     if saturated:
+        if sources != 1:
+            raise ConfigurationError(
+                "concurrent sources require a paced run "
+                "(saturated mode is one closed loop per node)")
         SourceFeeder(node, stream, limit, batch_size, sender).start()
-    else:
+    elif sources == 1:
         for start in range(0, limit, batch_size):
             batch = stream.slice_range(
                 start, min(start + batch_size, limit))
@@ -37,6 +57,17 @@ def inject_stream(node: RuntimeNode, stream: EventBatch,
             node.schedule_at(ticks_to_seconds(batch.last_ts),
                              lambda n=node, m=msg: n.deliver(m),
                              phase=PHASE_SOURCE)
+    else:
+        for k in range(sources):
+            substream = stream[k::sources]
+            client = f"{sender}.{k}"
+            for start in range(0, len(substream), batch_size):
+                batch = substream.slice_range(
+                    start, min(start + batch_size, len(substream)))
+                msg = SourceBatch(sender=client, events=batch)
+                node.schedule_at(ticks_to_seconds(batch.last_ts),
+                                 lambda n=node, m=msg: n.deliver(m),
+                                 phase=PHASE_SOURCE, rank=(client,))
 
 
 class SourceFeeder:

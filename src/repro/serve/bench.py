@@ -1,15 +1,20 @@
 """Serve load-generating benchmark: latency + throughput per scheme.
 
 For each benchmarked scheme this drives the soccer-trace generator
-through the real-process serve runtime twice:
+through the real-process serve runtime in both coordination modes
+(**epoch** — concurrent conservative-lookahead batches — and
+**lockstep** — the one-event-per-round-trip verification oracle),
+twice each:
 
 * **paced** (single-client): events arrive on their timestamps, the
   coordinator throttles virtual time to the wall clock, and the
   recorded p50/p95/p99 are how far each window *result* trails its
   virtual emission time — classic load-test latency.
 * **saturated** (closed-loop): all input is available immediately and
-  the pipeline runs as fast as the lockstep protocol allows; the
+  the pipeline runs as fast as the coordination protocol allows; the
   recorded number is sustained events/s of wall-clock throughput.
+  ``{scheme}_speedup_x`` is the epoch/lockstep saturated-throughput
+  ratio; ``--floor`` (CI) fails the benchmark if it regresses.
 
 Every run is fingerprint-checked against the simulator driver (the
 oracle) — a serve benchmark whose results diverge from the simulation
@@ -35,18 +40,26 @@ from repro.serve.harness import run_scheme_served
 #: centralized baseline).
 BENCH_SCHEMES = ("deco_sync", "deco_async", "central")
 
+#: Coordination modes benchmarked against each other.
+BENCH_MODES = ("epoch", "lockstep")
+
 OUT_PATH = Path(__file__).resolve().parents[3] / "BENCH_serve.json"
 
 
 def bench_config(scheme: str, quick: bool,
                  saturated: bool) -> RunConfig:
-    """The benchmark workload for one scheme/mode."""
+    """The benchmark workload for one scheme/pacing mode.
+
+    Window counts are high enough that p95 and p99 interpolate to
+    distinct samples; the quick (CI smoke) variant keeps the 3-node
+    topology so the epoch-speedup floor measures real fan-out.
+    """
     if quick:
-        return RunConfig(scheme=scheme, n_nodes=2, window_size=600,
-                         n_windows=3, rate_per_node=30_000.0, seed=11,
+        return RunConfig(scheme=scheme, n_nodes=3, window_size=1_500,
+                         n_windows=6, rate_per_node=30_000.0, seed=11,
                          saturated=saturated)
     return RunConfig(scheme=scheme, n_nodes=3, window_size=6_000,
-                     n_windows=8, rate_per_node=60_000.0, seed=11,
+                     n_windows=16, rate_per_node=60_000.0, seed=11,
                      saturated=saturated)
 
 
@@ -61,37 +74,56 @@ def verify_against_simulator(config: RunConfig, result: Any) -> None:
 
 def run_bench(schemes: tuple[str, ...] = BENCH_SCHEMES,
               quick: bool | None = None,
-              out_path: Path | None = None) -> dict[str, Any]:
-    """Run the serve benchmark; writes and returns the payload."""
+              out_path: Path | None = None,
+              floor: float | None = None) -> dict[str, Any]:
+    """Run the serve benchmark; writes and returns the payload.
+
+    ``floor`` is the minimum acceptable epoch/lockstep saturated-
+    throughput ratio per scheme: a ratio below it aborts with
+    :class:`ServeError` (the CI perf gate).
+    """
     if quick is None:
         quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
     payload: dict[str, Any] = {
         "benchmark": "serve",
         "quick": quick,
         "schemes": list(schemes),
+        "modes": list(BENCH_MODES),
         "fingerprints_verified": True,
     }
     for scheme in schemes:
         paced_cfg = bench_config(scheme, quick, saturated=False)
-        paced = run_scheme_served(paced_cfg)
-        verify_against_simulator(paced_cfg, paced.result)
-        pct = paced.latency_percentiles()
         sat_cfg = bench_config(scheme, quick, saturated=True)
-        sat = run_scheme_served(sat_cfg)
-        verify_against_simulator(sat_cfg, sat.result)
-        payload[f"{scheme}_latency_p50_ms"] = round(
-            pct["p50_s"] * 1e3, 3)
-        payload[f"{scheme}_latency_p95_ms"] = round(
-            pct["p95_s"] * 1e3, 3)
-        payload[f"{scheme}_latency_p99_ms"] = round(
-            pct["p99_s"] * 1e3, 3)
-        payload[f"{scheme}_throughput_eps"] = round(
-            sat.throughput_eps, 1)
-        payload[f"{scheme}_windows"] = sat.result.n_windows
-        print(f"{scheme:12s} p50={pct['p50_s'] * 1e3:8.3f}ms "
-              f"p95={pct['p95_s'] * 1e3:8.3f}ms "
-              f"p99={pct['p99_s'] * 1e3:8.3f}ms "
-              f"throughput={sat.throughput_eps:12.0f} ev/s")
+        throughput: dict[str, float] = {}
+        for mode in BENCH_MODES:
+            paced = run_scheme_served(paced_cfg, mode=mode)
+            verify_against_simulator(paced_cfg, paced.result)
+            pct = paced.latency_percentiles()
+            sat = run_scheme_served(sat_cfg, mode=mode)
+            verify_against_simulator(sat_cfg, sat.result)
+            throughput[mode] = sat.throughput_eps
+            payload[f"{scheme}_{mode}_latency_p50_ms"] = round(
+                pct["p50_s"] * 1e3, 3)
+            payload[f"{scheme}_{mode}_latency_p95_ms"] = round(
+                pct["p95_s"] * 1e3, 3)
+            payload[f"{scheme}_{mode}_latency_p99_ms"] = round(
+                pct["p99_s"] * 1e3, 3)
+            payload[f"{scheme}_{mode}_throughput_eps"] = round(
+                sat.throughput_eps, 1)
+            payload[f"{scheme}_windows"] = sat.result.n_windows
+            print(f"{scheme:12s} {mode:8s} "
+                  f"p50={pct['p50_s'] * 1e3:8.3f}ms "
+                  f"p95={pct['p95_s'] * 1e3:8.3f}ms "
+                  f"p99={pct['p99_s'] * 1e3:8.3f}ms "
+                  f"throughput={sat.throughput_eps:12.0f} ev/s")
+        speedup = throughput["epoch"] / throughput["lockstep"]
+        payload[f"{scheme}_speedup_x"] = round(speedup, 2)
+        print(f"{scheme:12s} epoch/lockstep speedup {speedup:.2f}x")
+        if floor is not None and speedup < floor:
+            raise ServeError(
+                f"epoch saturated throughput for {scheme!r} is only "
+                f"{speedup:.2f}x lockstep, below the required "
+                f"{floor:.1f}x floor")
     out = out_path if out_path is not None else OUT_PATH
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")

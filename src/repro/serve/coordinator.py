@@ -7,11 +7,27 @@ and NIC reservations, and the run loop — but every node is a
 scheduled) becomes one lockstep RPC to the real node process, whose
 reply is the ordered op list to apply back onto the kernel.
 
-One kernel event pops at a time; its dispatch round-trips to one
-worker; the worker's ops are applied in emission order.  That is the
-whole bit-identity argument: the kernel assigns the same sequence
-numbers to the same schedules as the in-process oracle, so same-time
-ordering — and everything downstream of it — matches by construction.
+Two execution modes share the kernel and fabric (DESIGN §12):
+
+* **lockstep** — one kernel event pops at a time; its dispatch
+  round-trips to one worker; the worker's ops are applied in emission
+  order.  That is the whole bit-identity argument: the kernel assigns
+  the same sequence numbers to the same schedules as the in-process
+  oracle, so same-time ordering — and everything downstream of it —
+  matches by construction.  This is the verification mode (``serve
+  --mode lockstep``, and what ``--verify`` compares implicitly through
+  the shared oracle fingerprint).
+* **epoch** (default) — conservative parallel execution.  Timers are
+  strictly worker-local and only sends cross nodes, so every kernel
+  event below the safe horizon ``t0 + min-link-latency`` is
+  independent across workers: any send one of them emits arrives at or
+  after the horizon.  The coordinator pops that whole prefix, ships
+  each worker its share as ONE batched EPOCH frame, lets all workers
+  execute concurrently, then replays the returned op batches in
+  canonical ``(time, phase, rank)`` order.  Results are fingerprint-
+  identical to the oracle (emission order within an equal-key class is
+  covered by the same invariance contract as the tie-break salt), at a
+  fraction of the lockstep round-trip count.
 
 Pacing: a *paced* run (``config.saturated=False``) throttles the event
 loop to the virtual clock (one virtual second per wall second), so
@@ -24,10 +40,12 @@ from __future__ import annotations
 import asyncio
 import heapq
 import time
+from collections import deque
 from typing import Any
 
 from repro.core.context import SchemeContext
 from repro.core.protocol import make_sizer
+from repro.core.records import WindowOutcome
 from repro.core.runner import RunConfig, make_context
 from repro.errors import ServeError
 from repro.obs.tracer import RunTracer
@@ -36,7 +54,8 @@ from repro.runtime.driver import simulation_cap_s
 from repro.runtime.node import Behavior, NodeProfile
 from repro.serve import framing
 from repro.serve.protocol import (OP_CANCEL, OP_OUTCOME, OP_SCHEDULE,
-                                  OP_SEND, OP_STOP, sender_table)
+                                  OP_SEND, OP_STOP, ZERO_COUNTERS,
+                                  outcome_from_json, sender_table)
 from repro.sim.kernel import Simulator
 from repro.sim.node import SimNode
 from repro.sim.topology import StarTopology, build_star, peer_mesh
@@ -79,11 +98,49 @@ class WindowSample:
         self.wall_offset_s = wall_offset_s
 
 
+class _EpochState:
+    """Merge bookkeeping for one epoch replay.
+
+    Tracks the timers workers created *inside* the epoch below the
+    horizon: they fired (or were cancelled) worker-locally, so they
+    must never enter the coordinator's kernel — instead each gets a
+    canonical merge key, class 1 so same-``(time, phase, rank)``
+    shipped slots (class 0, smaller pre-epoch kernel sequence numbers)
+    sort first, tie-broken by node order + per-node creation counter.
+    """
+
+    __slots__ = ("horizon", "timer_keys", "_order", "_created")
+
+    def __init__(self, horizon: float,
+                 node_order: dict[str, int]) -> None:
+        self.horizon = horizon
+        self.timer_keys: dict[tuple[str, int], tuple[Any, ...]] = {}
+        self._order = node_order
+        self._created: dict[str, int] = {}
+
+    def record_timer(self, name: str, at: float, phase: int,
+                     rank: tuple[str, ...], token: int) -> None:
+        n = self._created.get(name, 0)
+        self._created[name] = n + 1
+        self.timer_keys[(name, token)] = (
+            at, phase, rank, 1, (self._order[name], n))
+
+    def drop_timer(self, name: str, token: int) -> bool:
+        """Forget a cancelled epoch-local timer; False if unknown."""
+        return self.timer_keys.pop((name, token), None) is not None
+
+
 class Coordinator:
     """Drives one serve run over already-spawned worker processes."""
 
     def __init__(self, config: RunConfig,
-                 tracer: RunTracer | None = None) -> None:
+                 tracer: RunTracer | None = None,
+                 mode: str = "epoch") -> None:
+        if mode not in ("epoch", "lockstep"):
+            raise ServeError(
+                f"unknown serve mode {mode!r}; expected 'epoch' or "
+                f"'lockstep'")
+        self.mode = mode
         self.config = config
         spec, ctx, tracer = make_context(config, None, tracer)
         self.ctx: SchemeContext = ctx
@@ -125,6 +182,17 @@ class Coordinator:
             tracer.meta["runtime"] = "serve"
         self.node_names = [ROOT_NAME] + [local_name(i)
                                          for i in range(n)]
+        #: Conservative lookahead: an event at ``t`` can only affect
+        #: another node at ``t + link latency`` or later, so everything
+        #: below ``t0 + lookahead`` is cross-node independent.
+        self._lookahead = min(
+            link.latency
+            for link in self.topo.network.links().values())
+        if mode == "epoch" and self._lookahead <= 0.0:
+            raise ServeError(
+                "epoch mode needs a positive minimum link latency for "
+                "its conservative lookahead horizon; use "
+                "mode='lockstep' for zero-latency fabrics")
         self._conns: dict[
             str, tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
         self._all_connected = asyncio.Event()
@@ -132,6 +200,18 @@ class Coordinator:
         self._dispatch: tuple[str, str, Any] | None = None
         self._stop = False
         self.windows: list[WindowSample] = []
+        #: Epoch mode's result of record: outcomes in applied (merge)
+        #: order.  A worker's FINAL may include post-stop work the
+        #: merge discarded, so FINALs are not authoritative there.
+        self.applied_outcomes: list[WindowOutcome] = []
+        #: Per-node running counter snapshot (``counters_snapshot``
+        #: order), cut at the node's last *applied* op batch.
+        self.worker_counters: dict[str, list[Any]] = {
+            name: list(ZERO_COUNTERS) for name in self.node_names}
+        #: Canonical merge keys of the current epoch's shipped slots,
+        #: per node, aligned with the slot lists (class 0; tie-break is
+        #: global kernel pop position).
+        self._slot_keys: dict[str, list[tuple[Any, ...]]] = {}
         self.finals: dict[str, dict[str, Any]] = {}
         self.wall_seconds = 0.0
         self._wall_start = 0.0
@@ -205,20 +285,31 @@ class Coordinator:
                 f"unexpected reply kind {reply_kind} from {name!r}")
         if self.tracer is not None:
             self.tracer.inc("serve_frames_recv", name)
+        if "c" in reply:
+            self.worker_counters[name] = reply["c"]
         self._apply_ops(name, reply["ops"], reply_blob)
 
     def _apply_ops(self, name: str, ops: list[list[Any]],
-                   blob: bytes) -> None:
+                   blob: bytes,
+                   epoch: _EpochState | None = None) -> None:
+        """Apply one op list; ``epoch`` keeps sub-horizon timers (which
+        already ran worker-locally) out of the kernel during a merge."""
         sim = self.topo.sim
         for op in ops:
             tag = op[0]
             if tag == OP_SCHEDULE:
                 _, at, phase, rank, token = op
+                if epoch is not None and at < epoch.horizon:
+                    epoch.record_timer(name, at, phase, tuple(rank),
+                                       token)
+                    continue
                 handle = sim.schedule_at(
                     at, self._marker(name, token), phase=phase,
                     rank=tuple(rank))
                 self._tokens[(name, token)] = handle
             elif tag == OP_CANCEL:
+                if epoch is not None and epoch.drop_timer(name, op[1]):
+                    continue
                 handle = self._tokens.pop((name, op[1]), None)
                 if handle is not None:
                     handle.cancel()
@@ -230,19 +321,21 @@ class Coordinator:
             elif tag == OP_STOP:
                 self._stop = True
             elif tag == OP_OUTCOME:
-                _, index, emit_time = op
-                wall = time.monotonic() - self._wall_start
-                self.windows.append(
-                    WindowSample(index, emit_time, wall))
-                if self.tracer is not None:
-                    self.tracer.gauge("serve_window_wall_s", ROOT_NAME,
-                                      wall)
-                    self.tracer.gauge(
-                        "serve_window_latency_s", ROOT_NAME,
-                        max(0.0, wall - emit_time))
+                self._record_outcome(outcome_from_json(op[1]))
             else:
                 raise ServeError(
                     f"unknown op {tag!r} from node {name!r}")
+
+    def _record_outcome(self, outcome: WindowOutcome) -> None:
+        wall = time.monotonic() - self._wall_start
+        self.applied_outcomes.append(outcome)
+        self.windows.append(
+            WindowSample(outcome.index, outcome.emit_time, wall))
+        if self.tracer is not None:
+            self.tracer.gauge("serve_window_wall_s", ROOT_NAME, wall)
+            self.tracer.gauge(
+                "serve_window_latency_s", ROOT_NAME,
+                max(0.0, wall - outcome.emit_time))
 
     def _marker(self, name: str, token: int) -> Any:
         def fire() -> None:
@@ -261,7 +354,10 @@ class Coordinator:
                             {"now": 0.0})
         for name in self.node_names:
             await self._rpc(name, framing.START, {"now": 0.0})
-        await self._lockstep()
+        if self.mode == "epoch":
+            await self._epoch_loop()
+        else:
+            await self._lockstep()
         for name in self.node_names:
             reader, writer = self._conns[name]
             try:
@@ -317,3 +413,172 @@ class Coordinator:
         while queue and queue[0].cancelled:
             heapq.heappop(queue)
         return queue[0] if queue else None
+
+    # -- epoch execution ---------------------------------------------------
+
+    async def _epoch_loop(self) -> None:
+        """Conservative-parallel run loop (DESIGN §12).
+
+        Each round pops every kernel event below the safe horizon
+        ``t0 + lookahead``, ships each worker its whole share as one
+        EPOCH frame, gathers the concurrent replies, and replays the
+        op batches in canonical global order.  Progress is guaranteed:
+        the head event is always below its own horizon, so every round
+        executes at least one event.
+        """
+        sim = self.topo.sim
+        cap = simulation_cap_s(self.ctx)
+        paced = not self.config.saturated
+        self._wall_start = time.monotonic()
+        while not self._stop:
+            event = self._peek_live()
+            if event is None:
+                sim._now = max(sim._now, cap)
+                break
+            if event.time > cap:
+                sim._now = cap
+                break
+            if paced:
+                delay = (self._wall_start + event.time
+                         - time.monotonic())
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            horizon = event.time + self._lookahead
+            slots, blobs = self._collect_epoch(horizon, cap)
+            names = [n for n in self.node_names if slots[n]]
+            replies = await asyncio.gather(
+                *(self._epoch_rpc(n, horizon, slots[n], blobs[n])
+                  for n in names), return_exceptions=True)
+            for got in replies:
+                if isinstance(got, BaseException):
+                    raise got
+            self._merge_epoch(
+                {name: got for name, got in zip(names, replies)},
+                horizon)
+        self.wall_seconds = time.monotonic() - self._wall_start
+
+    def _collect_epoch(
+            self, horizon: float, cap: float
+    ) -> tuple[dict[str, list[list[Any]]], dict[str, bytearray]]:
+        """Pop every live kernel event below ``horizon`` into per-node
+        slot lists (kernel pop order is the canonical global order).
+
+        Also records each slot's canonical merge key (class 0,
+        tie-broken by global pop position) into ``_slot_keys``.
+        """
+        sim = self.topo.sim
+        slots: dict[str, list[list[Any]]] = {
+            name: [] for name in self.node_names}
+        blobs: dict[str, bytearray] = {
+            name: bytearray() for name in self.node_names}
+        self._slot_keys = {name: [] for name in self.node_names}
+        pos = 0
+        while True:
+            event = self._peek_live()
+            if event is None or event.time >= horizon \
+                    or event.time > cap:
+                break
+            key = (event.time, event.phase, event.rank)
+            self._dispatch = None
+            sim.run(until=cap, max_events=1)
+            if self._dispatch is None:
+                continue
+            verb, name, payload = self._dispatch
+            self._dispatch = None
+            if verb == "run":
+                slots[name].append(
+                    ["run", key[0], key[1], list(key[2]), payload])
+            else:
+                frame = self.transport_codec.encode_message(payload)
+                offset = len(blobs[name])
+                blobs[name] += frame
+                slots[name].append(
+                    ["deliver", key[0], key[1], list(key[2]), offset,
+                     len(frame)])
+            self._slot_keys[name].append((*key, 0, (pos,)))
+            pos += 1
+        return slots, blobs
+
+    async def _epoch_rpc(
+            self, name: str, horizon: float, slots: list[list[Any]],
+            blob: bytearray) -> tuple[list[dict[str, Any]], bytes]:
+        """Ship one worker its epoch; return its (batches, blob)."""
+        try:
+            reader, writer = self._conns[name]
+        except KeyError:
+            raise ServeError(
+                f"no connection for node {name!r}") from None
+        if self.tracer is not None:
+            self.tracer.inc("serve_frames_sent", name)
+        try:
+            await framing.send_frame_async(
+                writer, framing.EPOCH,
+                {"h": horizon, "slots": slots}, bytes(blob))
+            kind, reply, reply_blob = \
+                await framing.recv_frame_async(reader)
+        except (ServeError, ConnectionError) as exc:
+            raise ServeError(
+                f"node {name!r} process died mid-run: {exc}") from None
+        if kind == framing.ERROR:
+            raise ServeError(
+                f"node {name!r} failed: {reply.get('error')}")
+        if kind != framing.EPOCH_OPS:
+            raise ServeError(
+                f"unexpected reply kind {kind} from {name!r}")
+        if self.tracer is not None:
+            self.tracer.inc("serve_frames_recv", name)
+        return reply["batches"], reply_blob
+
+    def _merge_epoch(
+            self, replies: dict[str, tuple[list[dict[str, Any]],
+                                           bytes]],
+            horizon: float) -> None:
+        """Replay the epoch's op batches in canonical global order.
+
+        Per-worker batches are FIFO (each worker executed them in its
+        local merged order), so a K-way merge on the head keys
+        reproduces the canonical global order; a timer batch's key was
+        recorded when its creating schedule op applied, which — being
+        an earlier item of the same worker — is always already merged.
+        The clock is pinned to each item's execution time while its
+        ops apply, so kernel validation and fabric reservations see
+        the same ``now`` the oracle would have.
+        """
+        sim = self.topo.sim
+        epoch = _EpochState(
+            horizon, {n: i for i, n in enumerate(self.node_names)})
+        queues = {name: deque(batches)
+                  for name, (batches, _) in replies.items()}
+        blobs = {name: blob for name, (_, blob) in replies.items()}
+
+        def head_key(name: str) -> tuple[Any, ...]:
+            kind, ref = queues[name][0]["ref"]
+            if kind == "slot":
+                return self._slot_keys[name][ref]
+            try:
+                return epoch.timer_keys[(name, ref)]
+            except KeyError:
+                raise ServeError(
+                    f"node {name!r} fired unknown epoch timer "
+                    f"{ref}") from None
+
+        while not self._stop:
+            best: str | None = None
+            best_key: tuple[Any, ...] | None = None
+            for name, queue in queues.items():
+                if not queue:
+                    continue
+                key = head_key(name)
+                if best_key is None or key < best_key:
+                    best, best_key = name, key
+            if best is None or best_key is None:
+                break
+            batch = queues[best].popleft()
+            sim._now = best_key[0]
+            self._apply_ops(best, batch["ops"], blobs[best],
+                            epoch=epoch)
+            self.worker_counters[best] = batch["c"]
+        # On stop, every remaining batch is discarded unapplied:
+        # kernel semantics run nothing past the stopping callback, and
+        # the per-batch counter snapshots cut each worker's counter
+        # contribution at its last applied item.

@@ -53,6 +53,12 @@ FINISH = 8
 FINAL = 9
 #: Either direction: fatal error description.
 ERROR = 10
+#: Coordinator -> worker: one whole epoch of deliveries/timer fires
+#: (``{"h": horizon, "slots": [...]}``; blob = wire frames).
+EPOCH = 11
+#: Worker -> coordinator reply to EPOCH: per-item op batches
+#: (``{"batches": [...]}``; blob = emitted wire frames).
+EPOCH_OPS = 12
 
 _LEN = struct.Struct("<I")
 _HEAD = struct.Struct("<BI")

@@ -20,6 +20,7 @@ import math
 import os
 import subprocess
 import sys
+import time
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -31,7 +32,8 @@ from repro.obs.events import TraceEvent
 from repro.obs.tracer import RunTracer
 from repro.runtime.api import ROOT_NAME
 from repro.runtime.driver import collect
-from repro.serve.coordinator import Coordinator, WindowSample
+from repro.serve.coordinator import (HANDSHAKE_TIMEOUT_S, Coordinator,
+                                     WindowSample)
 from repro.serve.protocol import (SUMMED_FIELDS, config_to_json,
                                   outcome_from_json)
 
@@ -40,12 +42,23 @@ SHUTDOWN_TIMEOUT_S = 15.0
 
 
 def percentile(samples: list[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 1]) of ``samples``."""
+    """Linearly interpolated percentile (``q`` in [0, 1]).
+
+    Matches ``numpy.percentile``'s default method, keeping serve
+    load-test tails consistent with the offline metrics module.  (The
+    previous nearest-rank rule collapsed neighbouring quantiles onto
+    the same sample at small n — with under 20 windows p95 and p99
+    were always the same number.)
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
     if not samples:
         return math.nan
     ordered = sorted(samples)
-    rank = max(1, math.ceil(q * len(ordered)))
-    return ordered[rank - 1]
+    pos = q * (len(ordered) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    return ordered[lo] + (pos - lo) * (ordered[hi] - ordered[lo])
 
 
 @dataclass
@@ -144,10 +157,31 @@ def _merge_trace(tracer: RunTracer,
 
 
 def _merge_results(coord: Coordinator) -> RunResult:
-    """One :class:`RunResult` from coordinator accounting + FINALs."""
+    """One :class:`RunResult` from the coordinator's applied state.
+
+    Lockstep merges from worker FINAL payloads (each worker executed
+    exactly the dispatched events, so its final record is exact).
+    Epoch mode is coordinator-authoritative instead: a worker executes
+    its whole epoch optimistically, so after a mid-epoch stop its
+    FINAL can include outcomes and counter increments from batches the
+    merge discarded — the applied-op stream and the per-batch counter
+    snapshots are the record of what actually ran.
+    """
     # Network/byte accounting lives coordinator-side on the real
     # fabric; collect() fills it exactly as the simulator driver does.
     result = collect(coord.topo, coord.ctx)
+    if coord.mode == "epoch":
+        counters = coord.worker_counters
+        result.outcomes = list(coord.applied_outcomes)
+        for i, fieldname in enumerate(SUMMED_FIELDS):
+            setattr(result, fieldname,
+                    sum(c[i] for c in counters.values()))
+        result.node_busy_s = {
+            name: counters[name][len(SUMMED_FIELDS)]
+            for name in coord.node_names}
+        result.sim_time = max(
+            c[len(SUMMED_FIELDS) + 1] for c in counters.values())
+        return result
     finals = coord.finals
     result.outcomes = [
         outcome_from_json(o)
@@ -164,17 +198,52 @@ def _merge_results(coord: Coordinator) -> RunResult:
     return result
 
 
+async def _await_workers(coord: Coordinator,
+                         procs: dict[str, subprocess.Popen],
+                         timeout: float | None = None) -> None:
+    """Wait for every worker's HELLO, failing fast if one dies first.
+
+    A worker that exits before connecting (import error, bad argv, a
+    port race) would otherwise leave the harness blocked for the full
+    handshake timeout with the surviving workers orphaned; polling the
+    process table between short waits surfaces the death immediately.
+    """
+    if timeout is None:
+        timeout = HANDSHAKE_TIMEOUT_S
+    deadline = time.monotonic() + timeout
+    while True:
+        dead = {name: proc.returncode for name, proc in procs.items()
+                if proc.poll() is not None and proc.returncode != 0}
+        if dead:
+            details = ", ".join(f"{name} exited {code}"
+                                for name, code in sorted(dead.items()))
+            raise ServeError(
+                f"worker process died before handshake: {details}")
+        remaining = deadline - time.monotonic()
+        try:
+            await coord.wait_for_workers(
+                timeout=min(0.05, max(0.0, remaining)))
+            return
+        except ServeError:
+            if remaining <= 0:
+                raise
+
+
 def run_scheme_served(config: RunConfig,
                       tracer: RunTracer | None = None,
-                      host: str = "127.0.0.1") -> ServeReport:
+                      host: str = "127.0.0.1",
+                      mode: str = "epoch") -> ServeReport:
     """Run one scheme on a real-process cluster; returns the report.
 
     Spawns one worker process per node (root + locals), runs the
-    lockstep coordinator over TCP on ``host`` (ephemeral port), and
-    merges worker results into a :class:`RunResult` bit-identical to
-    the simulator driver's.
+    coordinator over TCP on ``host`` (ephemeral port), and merges
+    worker results into a :class:`RunResult` bit-identical to the
+    simulator driver's.  ``mode`` picks the run loop: ``"epoch"``
+    (default) executes conservative-lookahead epochs concurrently
+    across workers; ``"lockstep"`` round-trips one kernel event at a
+    time (the verification oracle's pace).
     """
-    coord = Coordinator(config, tracer)
+    coord = Coordinator(config, tracer, mode=mode)
     # Workers build their own tracer from the shipped config; a caller
     # who passed a tracer expects worker-side events too, so the flag
     # travels with the worker command line.
@@ -191,7 +260,7 @@ def run_scheme_served(config: RunConfig,
                 procs[name] = subprocess.Popen(
                     worker_argv(host, port, name, worker_config),
                     env=env)
-            await coord.wait_for_workers()
+            await _await_workers(coord, procs)
             await coord.run()
         finally:
             server.close()

@@ -39,8 +39,12 @@ OP_CANCEL = "cancel"
 OP_SEND = "send"
 #: ``["stop"]`` — the behaviour requested run termination.
 OP_STOP = "stop"
-#: ``["outcome", window_index, emit_time]`` — a window result was
-#: emitted during this dispatch (the coordinator stamps wall time).
+#: ``["outcome", payload]`` — a window result was emitted during this
+#: dispatch; ``payload`` is the full :func:`outcome_to_json` dict, so
+#: the coordinator's applied-op stream is result-authoritative (in
+#: epoch mode a worker's FINAL may include outcomes from work the
+#: merge discarded after a stop; the coordinator also stamps wall
+#: time per applied outcome).
 OP_OUTCOME = "outcome"
 
 
@@ -122,3 +126,23 @@ def result_to_json(result: RunResult, busy_s: float) -> dict[str, Any]:
         "busy_s": busy_s,
         **{name: getattr(result, name) for name in SUMMED_FIELDS},
     }
+
+
+def counters_snapshot(result: RunResult, busy_s: float) -> list[Any]:
+    """One worker's running counter vector, in :data:`SUMMED_FIELDS`
+    order plus ``[busy_s, sim_time]``.
+
+    Shipped with every op reply (per dispatch in lockstep, per executed
+    item in an epoch batch) so the coordinator can cut a worker's
+    counter contribution exactly at its last *applied* item: after a
+    mid-epoch stop the merge discards the remaining batches, and the
+    discarded work's counter increments must not leak into the merged
+    result (local nodes do increment fingerprinted counters such as
+    ``prediction_errors``).
+    """
+    return [*(getattr(result, name) for name in SUMMED_FIELDS),
+            busy_s, result.sim_time]
+
+
+#: A fresh worker's :func:`counters_snapshot` (all zeros).
+ZERO_COUNTERS = [0, 0, 0, 0, 0.0, 0.0]

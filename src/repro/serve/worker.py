@@ -29,6 +29,7 @@ Environment:
 from __future__ import annotations
 
 import argparse
+import heapq
 import json
 import math
 import os
@@ -47,6 +48,7 @@ from repro.runtime.node import Behavior, NodeProfile, RuntimeNode
 from repro.serve import framing
 from repro.serve.protocol import (OP_CANCEL, OP_OUTCOME, OP_SCHEDULE,
                                   OP_SEND, OP_STOP, config_from_json,
+                                  counters_snapshot, outcome_to_json,
                                   result_to_json, sender_table)
 from repro.wire.codec import MessageCodec
 
@@ -116,6 +118,7 @@ class ServeNode(RuntimeNode):
 
     def request_stop(self) -> None:
         self._rt.ops.append([OP_STOP])
+        self._rt.stop_requested = True
 
     def _transmit(self, dst: str, msg: Any) -> None:
         self._rt.transmit(dst, msg)
@@ -170,6 +173,20 @@ class WorkerRuntime:
         # Per-dispatch op buffer (reset by dispatch()).
         self.ops: list[list[Any]] = []
         self.opblob = bytearray()
+        #: Set by :meth:`ServeNode.request_stop`; an epoch dispatch
+        #: halts after the item that raised it (mirroring the kernel,
+        #: which stops after the stopping callback returns).
+        self.stop_requested = False
+        # Epoch-execution state (active only inside dispatch_epoch):
+        # the horizon, the local heap of sub-horizon timers created
+        # during the epoch, and the tokens cancelled mid-epoch (so a
+        # shipped-but-unreached slot is skipped symmetrically with the
+        # coordinator's merge).
+        self._epoch_h: float | None = None
+        self._epoch_heap: list[tuple[float, int, tuple[str, ...],
+                                     int, int]] = []
+        self._epoch_counter = 0
+        self._epoch_cancelled: set[int] = set()
 
     # -- op emission (called from ServeNode) -------------------------------
 
@@ -180,11 +197,21 @@ class WorkerRuntime:
         handle = _ServeTimer(token, self)
         self._timers[token] = (callback, handle)
         self.ops.append([OP_SCHEDULE, time, phase, list(rank), token])
+        if self._epoch_h is not None and time < self._epoch_h:
+            # Sub-horizon timer created mid-epoch: it fires locally in
+            # this same epoch (the coordinator tracks it from the
+            # schedule op and never enters it into the kernel).
+            heapq.heappush(self._epoch_heap,
+                           (time, phase, rank, self._epoch_counter,
+                            token))
+            self._epoch_counter += 1
         return handle
 
     def cancel_timer(self, token: int) -> None:
         self._timers.pop(token, None)
         self.ops.append([OP_CANCEL, token])
+        if self._epoch_h is not None:
+            self._epoch_cancelled.add(token)
 
     def transmit(self, dst: str, msg: Any) -> None:
         frame = self.codec.encode_message(msg)
@@ -210,7 +237,8 @@ class WorkerRuntime:
             inject_stream(self.node, stream,
                           self.config.resolved_batch_size(),
                           self.config.saturated,
-                          sender=f"source-{self.local_index}")
+                          sender=f"source-{self.local_index}",
+                          sources=self.config.sources_per_node)
         elif kind == framing.RUN:
             token = header["token"]
             try:
@@ -231,9 +259,105 @@ class WorkerRuntime:
         # outcomes to the shared result record exactly as on the
         # simulator, so no scheme code needs serve-specific hooks.
         for outcome in self.ctx.result.outcomes[before:]:
-            self.ops.append([OP_OUTCOME, outcome.index,
-                             outcome.emit_time])
+            self.ops.append([OP_OUTCOME, outcome_to_json(outcome)])
         return self.ops, bytes(self.opblob)
+
+    # -- epoch dispatch ----------------------------------------------------
+
+    def _run_timer(self, token: int) -> None:
+        """Fire one owned timer (kernel consumed-timer semantics)."""
+        try:
+            callback, handle = self._timers.pop(token)
+        except KeyError:
+            raise ServeError(
+                f"unknown or consumed timer token {token} on "
+                f"{self.node_name}") from None
+        handle.cancelled = True
+        callback()
+
+    def dispatch_epoch(self, header: dict,
+                       blob: bytes) -> tuple[list[dict[str, Any]],
+                                             bytes]:
+        """Execute one whole epoch locally; returns (batches, blob).
+
+        The coordinator ships every pre-epoch event below the horizon
+        as a *slot* (a delivery or a timer fire) in kernel pop order,
+        already sorted by the canonical ``(time, phase, rank)`` key.
+        Timers this worker creates *during* the epoch below the horizon
+        fire here too; they merge into the slot sequence by the same
+        key, shipped slots winning ties (pre-epoch kernel sequence
+        numbers are smaller than any assigned mid-epoch).  Each
+        executed item becomes one op batch tagged with its origin
+        (``["slot", i]`` or ``["timer", token]``) plus a running
+        counter snapshot, so the coordinator can replay the merged op
+        stream in canonical global order and cut each worker exactly at
+        its last applied item.
+        """
+        slots = header["slots"]
+        self._epoch_h = header["h"]
+        self._epoch_heap = []
+        self._epoch_counter = 0
+        self._epoch_cancelled = set()
+        self.stop_requested = False
+        self.opblob = bytearray()
+        batches: list[dict[str, Any]] = []
+        idx = 0
+        try:
+            while idx < len(slots) or self._epoch_heap:
+                use_slot = idx < len(slots)
+                if use_slot and self._epoch_heap:
+                    slot = slots[idx]
+                    ht, hph, hrk, _hc, _htok = self._epoch_heap[0]
+                    use_slot = ((slot[1], slot[2], tuple(slot[3]), 0)
+                                <= (ht, hph, hrk, 1))
+                if use_slot:
+                    slot = slots[idx]
+                    ref: list[Any] = ["slot", idx]
+                    idx += 1
+                    verb, at = slot[0], slot[1]
+                    if verb == "run" and slot[4] in \
+                            self._epoch_cancelled:
+                        continue
+                    self.ops = []
+                    self.now = at
+                    before = len(self.ctx.result.outcomes)
+                    if verb == "run":
+                        self._run_timer(slot[4])
+                    elif verb == "deliver":
+                        off, length = slot[4], slot[5]
+                        self.node.deliver(self.codec.decode_message(
+                            bytes(blob[off:off + length])))
+                    else:
+                        raise ServeError(
+                            f"unknown epoch slot verb {verb!r}")
+                else:
+                    at, _ph, _rk, _cnt, token = heapq.heappop(
+                        self._epoch_heap)
+                    if token in self._epoch_cancelled:
+                        continue
+                    ref = ["timer", token]
+                    self.ops = []
+                    self.now = at
+                    before = len(self.ctx.result.outcomes)
+                    self._run_timer(token)
+                for outcome in self.ctx.result.outcomes[before:]:
+                    self.ops.append([OP_OUTCOME,
+                                     outcome_to_json(outcome)])
+                batches.append({
+                    "ref": ref, "ops": self.ops,
+                    "c": counters_snapshot(
+                        self.ctx.result, self.node.metrics.busy_s)})
+                if self.stop_requested:
+                    # Kernel semantics: stop() halts the loop after
+                    # the stopping callback returns; later events (and
+                    # their side effects) never run.  The coordinator
+                    # cuts every worker at the stop batch the same way.
+                    break
+        finally:
+            self._epoch_h = None
+            self._epoch_heap = []
+            self._epoch_cancelled = set()
+        return batches, bytes(self.opblob)
 
     def final_payload(self) -> dict[str, Any]:
         """The FINAL frame header: results, metrics, trace."""
@@ -276,13 +400,22 @@ def serve_forever(sock: socket.socket, rt: WorkerRuntime) -> None:
             # process would.  os._exit skips atexit/socket teardown.
             os._exit(1)
         try:
-            ops, blob = rt.dispatch(kind, header, blob)
+            if kind == framing.EPOCH:
+                batches, eblob = rt.dispatch_epoch(header, blob)
+                reply = (framing.EPOCH_OPS, {"batches": batches}, eblob)
+            else:
+                ops, oblob = rt.dispatch(kind, header, blob)
+                reply = (framing.OPS,
+                         {"ops": ops,
+                          "c": counters_snapshot(
+                              rt.ctx.result, rt.node.metrics.busy_s)},
+                         oblob)
         except Exception as exc:  # surface worker bugs to the harness
             framing.send_frame(sock, framing.ERROR, {
                 "node": rt.node_name, "error": f"{type(exc).__name__}: "
                 f"{exc}"})
             raise
-        framing.send_frame(sock, framing.OPS, {"ops": ops}, blob)
+        framing.send_frame(sock, *reply)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -77,7 +77,31 @@ class TestServe:
         assert code == 0
         out = capsys.readouterr().out
         assert "deco_sync" in out
+        assert "epoch" in out  # default coordination mode column
         assert "p99 ms" in out
+
+    def test_serve_lockstep_mode(self, capsys):
+        code = main(["serve", "central", "--nodes", "2", "--window",
+                     "400", "--windows", "3", "--rate", "20000",
+                     "--seed", "7", "--mode", "lockstep"])
+        assert code == 0
+        assert "lockstep" in capsys.readouterr().out
+
+    def test_serve_sources_need_paced_load(self, capsys):
+        code = main(["serve", "central", "--nodes", "2", "--window",
+                     "400", "--windows", "3", "--rate", "20000",
+                     "--sources", "3"])
+        assert code == 2
+        assert "--load latency" in capsys.readouterr().err
+
+    def test_serve_sources_paced(self, capsys):
+        code = main(["serve", "central", "--nodes", "2", "--window",
+                     "400", "--windows", "3", "--rate", "20000",
+                     "--seed", "7", "--load", "latency",
+                     "--sources", "2", "--verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
 
     def test_trace_runtime_serve(self, capsys, tmp_path):
         out = tmp_path / "serve_trace.json"
@@ -103,9 +127,11 @@ class TestServe:
         import json
         payload = json.loads(out_path.read_text())
         assert payload["fingerprints_verified"] is True
-        assert payload["central_throughput_eps"] > 0
-        assert payload["central_latency_p99_ms"] >= \
-            payload["central_latency_p50_ms"]
+        for mode in ("epoch", "lockstep"):
+            assert payload[f"central_{mode}_throughput_eps"] > 0
+            assert payload[f"central_{mode}_latency_p99_ms"] >= \
+                payload[f"central_{mode}_latency_p50_ms"]
+        assert payload["central_speedup_x"] > 0
 
 
 class TestParser:
@@ -116,5 +142,13 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["run", "central"])
         assert args.nodes == 2
-        assert args.mode == "throughput"
+        assert args.load == "throughput"
         assert args.delta_m == 4
+
+    def test_serve_mode_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "central", "--load", "latency",
+             "--mode", "lockstep", "--sources", "4"])
+        assert args.load == "latency"
+        assert args.mode == "lockstep"
+        assert args.sources == 4

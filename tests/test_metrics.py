@@ -198,6 +198,60 @@ class TestLatency:
         assert len(lat) == 3
         assert np.allclose(lat, 0.01)
 
+    def _faulty_result(self, dropped=4):
+        """A run missing one steady-state window (fault-run shape)."""
+        result = RunResult(scheme="x", n_nodes=2, window_size=1_000)
+        triggers = trigger_times(self.workload, 64)
+        for g in range(6):
+            if g == dropped:
+                continue
+            result.outcomes.append(WindowOutcome(
+                index=g, result=0.0, emit_time=triggers[g] + 0.01))
+        result.sim_time = float(triggers[-1]) + 0.01
+        return result, triggers
+
+    def test_missing_policy_exclude_measures_survivors(self):
+        result, _ = self._faulty_result()
+        lat = window_latencies(result, self.workload, 64,
+                               missing="exclude")
+        assert len(lat) == 2  # windows 3 and 5
+        assert np.allclose(lat, 0.01)
+
+    def test_missing_policy_penalize_charges_run_end(self):
+        result, triggers = self._faulty_result()
+        lat = window_latencies(result, self.workload, 64,
+                               missing="penalize")
+        assert len(lat) == 3
+        # The dropped window (index 4, the middle of the sorted steady
+        # set) is charged from its trigger to the end of the run — a
+        # lower bound on its true latency, far above the survivors'.
+        penalty = result.sim_time - triggers[4]
+        assert lat[1] == pytest.approx(penalty)
+        assert penalty > 0.01
+
+    def test_missing_policy_unknown_rejected(self):
+        result, _ = self._faulty_result()
+        with pytest.raises(ConfigurationError, match="policy"):
+            window_latencies(result, self.workload, 64,
+                             missing="ignore")
+
+    def test_dropped_windows_named(self):
+        from repro.metrics import dropped_windows
+        result, _ = self._faulty_result()
+        assert dropped_windows(result, self.workload) == [4]
+
+    def test_latency_summary_reports_dropped_count(self):
+        from repro.metrics import latency_summary
+        result, _ = self._faulty_result()
+        summary = latency_summary(result, self.workload, 64)
+        assert summary["n_dropped"] == 1
+        assert summary["n_measured"] == 2
+        assert summary["mean_s"] == pytest.approx(0.01)
+        penalized = latency_summary(result, self.workload, 64,
+                                    missing="penalize")
+        assert penalized["n_measured"] == 3
+        assert penalized["p99_s"] > summary["p99_s"]
+
 
 class TestNetworkMetrics:
     def test_bytes_per_event(self):

@@ -69,12 +69,26 @@ class TestProtocolUnits:
             assert back.emit_time == outcome.emit_time
             assert back.corrected == outcome.corrected
 
-    def test_percentile_nearest_rank(self):
+    def test_percentile_linear_interpolation(self):
+        import numpy as np
         samples = [float(i) for i in range(1, 101)]
-        assert percentile(samples, 0.50) == 50.0
-        assert percentile(samples, 0.95) == 95.0
-        assert percentile(samples, 0.99) == 99.0
+        assert percentile(samples, 0.50) == 50.5
+        assert percentile(samples, 0.95) == 95.05
+        assert percentile(samples, 0.99) == pytest.approx(99.01)
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 100.0
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert percentile(samples, q) == pytest.approx(
+                float(np.percentile(samples, q * 100)))
         assert math.isnan(percentile([], 0.5))
+        with pytest.raises(ValueError, match="q must be"):
+            percentile(samples, 1.5)
+
+    def test_percentile_tails_distinct_at_small_n(self):
+        # The old nearest-rank rule returned the max sample for every
+        # tail quantile once n < 20, collapsing p95 == p99.
+        samples = [float(i) for i in range(1, 11)]
+        assert percentile(samples, 0.95) != percentile(samples, 0.99)
 
 
 class TestWorkerRuntimeUnits:

@@ -1,0 +1,160 @@
+"""Tests for epoch-mode serve coordination (DESIGN §12).
+
+Epoch mode executes whole conservative-lookahead epochs concurrently
+across worker processes and merges the emitted ops back in canonical
+``(time, phase, rank)`` order.  The contract under test: for every
+scheme and workload shape, the merged result's determinism fingerprint
+is bit-identical to the in-process simulator's AND to the lockstep
+(one event per round-trip) oracle's — concurrency must be free.
+"""
+
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.determinism import DEFAULT_SALTS, Fingerprint
+from repro.core.runner import RunConfig, available_schemes, run_scheme
+from repro.errors import ConfigurationError, ServeError
+from repro.serve import run_scheme_served
+from repro.serve.coordinator import Coordinator
+from repro.serve.worker import CRASH_ENV
+
+import repro.core  # noqa: F401  (registers deco_* schemes)
+import repro.baselines  # noqa: F401  (registers baselines)
+
+from tests.test_serve_failures import lingering_workers
+
+
+def tiny_config(scheme, **overrides):
+    kwargs = dict(scheme=scheme, n_nodes=2, window_size=400,
+                  n_windows=3, rate_per_node=20_000.0, seed=7)
+    kwargs.update(overrides)
+    return RunConfig(**kwargs)
+
+
+class TestEpochMatchesOracles:
+    """Three-way bit-identity: simulator == lockstep == epoch."""
+
+    @pytest.mark.parametrize("scheme", sorted(available_schemes()))
+    def test_fingerprint_identity_all_schemes(self, scheme):
+        config = tiny_config(scheme)
+        oracle = Fingerprint.of(run_scheme(config)[0])
+        for mode in ("epoch", "lockstep"):
+            served = run_scheme_served(config, mode=mode)
+            assert Fingerprint.of(served.result) == oracle, \
+                f"{scheme} diverged from the simulator in {mode} mode"
+
+    def test_epoch_paced_matches_oracle(self):
+        config = tiny_config("deco_async", saturated=False)
+        oracle = Fingerprint.of(run_scheme(config)[0])
+        served = run_scheme_served(config, mode="epoch")
+        assert Fingerprint.of(served.result) == oracle
+
+    def test_epoch_is_salt_invariant(self):
+        # The merge order inside an equal-(time, phase, rank) class is
+        # epoch mode's only freedom; the tie-break salt exercises the
+        # same freedom on the simulator, so a salted epoch run must
+        # still fingerprint-match the unsalted oracle.
+        oracle = Fingerprint.of(run_scheme(tiny_config("deco_sync"))[0])
+        salted = tiny_config("deco_sync", tiebreak_salt=0x5A5A)
+        served = run_scheme_served(salted, mode="epoch")
+        assert Fingerprint.of(served.result) == oracle
+
+
+class TestEpochBoundaryProperties:
+    """Hypothesis sweep over workload shapes that move events across
+    epoch horizons: different latencies change how many events share
+    an epoch, different rates/windows change the stop position."""
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(scheme=st.sampled_from(["deco_sync", "deco_async",
+                                   "central"]),
+           n_nodes=st.integers(min_value=1, max_value=3),
+           window=st.sampled_from([300, 500, 800]),
+           n_windows=st.integers(min_value=2, max_value=4),
+           latency=st.sampled_from([20e-6, 100e-6, 2e-3]),
+           saturated=st.booleans(),
+           seed=st.integers(min_value=0, max_value=50))
+    def test_epoch_always_matches_simulator(self, scheme, n_nodes,
+                                            window, n_windows, latency,
+                                            saturated, seed):
+        config = RunConfig(scheme=scheme, n_nodes=n_nodes,
+                           window_size=window, n_windows=n_windows,
+                           rate_per_node=20_000.0, latency=latency,
+                           saturated=saturated, seed=seed)
+        oracle = Fingerprint.of(run_scheme(config)[0])
+        served = run_scheme_served(config, mode="epoch")
+        assert Fingerprint.of(served.result) == oracle
+
+
+class TestEpochCrash:
+    def test_crash_mid_epoch_raises_and_cleans_up(self, monkeypatch):
+        # Each worker hard-exits before replying to its third dispatch;
+        # in epoch mode that lands inside an EPOCH frame, so the death
+        # surfaces through the concurrent gather path.
+        monkeypatch.setenv(CRASH_ENV, "3")
+        with pytest.raises(ServeError) as excinfo:
+            run_scheme_served(tiny_config("deco_sync"), mode="epoch")
+        message = str(excinfo.value)
+        assert "died" in message
+        assert "exited 1" in message
+        deadline = time.monotonic() + 10.0
+        while lingering_workers() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert lingering_workers() == []
+
+
+class TestEpochModeGuards:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ServeError, match="unknown serve mode"):
+            Coordinator(tiny_config("deco_sync"), mode="warp")
+
+    def test_zero_latency_fabric_needs_lockstep(self):
+        config = tiny_config("deco_sync", latency=0.0)
+        with pytest.raises(ServeError, match="lockstep"):
+            Coordinator(config, mode="epoch")
+        # Lockstep has no lookahead requirement.
+        Coordinator(config, mode="lockstep")
+
+
+class TestConcurrentSources:
+    def test_paced_sources_match_single_source_results(self):
+        # Splitting a node's paced stream over N source clients changes
+        # the injection schedule, not the data: count-based windows see
+        # the same events, so results must be bit-identical between the
+        # simulator and the served epoch run for the same sources count.
+        config = tiny_config("deco_sync", saturated=False,
+                             sources_per_node=3)
+        oracle = Fingerprint.of(run_scheme(config)[0])
+        served = run_scheme_served(config, mode="epoch")
+        assert Fingerprint.of(served.result) == oracle
+
+    def test_sources_are_salt_invariant(self):
+        # Multiple same-tick source deliveries are ordered by their
+        # client-name rank, never by insertion order, so the kernel's
+        # tie-break salt must not move results.
+        base = tiny_config("central", saturated=False,
+                           sources_per_node=3)
+        prints = set()
+        for salt in DEFAULT_SALTS:
+            config = tiny_config("central", saturated=False,
+                                 sources_per_node=3,
+                                 tiebreak_salt=salt)
+            prints.add(Fingerprint.of(run_scheme(config)[0]))
+        assert len(prints) == 1
+        assert prints == {Fingerprint.of(run_scheme(base)[0])}
+
+    def test_saturated_sources_rejected(self):
+        config = tiny_config("central", saturated=True,
+                             sources_per_node=2)
+        with pytest.raises(ConfigurationError, match="sources"):
+            run_scheme(config)
+
+    def test_zero_sources_rejected(self):
+        config = tiny_config("central", saturated=False,
+                             sources_per_node=0)
+        with pytest.raises(ConfigurationError, match="sources"):
+            run_scheme(config)

@@ -114,6 +114,34 @@ class TestHandshakeTimeout:
             asyncio.run(coord.wait_for_workers(timeout=0.05))
 
 
+class TestSpawnFailure:
+    def test_worker_dying_before_handshake_fails_fast(self,
+                                                      monkeypatch):
+        # A worker that exits before connecting (bad identity here;
+        # import errors and argv typos behave the same) must surface
+        # immediately — not after the full handshake timeout — and
+        # must not leave the sibling workers running.
+        from repro.serve import harness
+        from repro.serve.coordinator import HANDSHAKE_TIMEOUT_S
+        real_argv = harness.worker_argv
+
+        def broken_argv(host, port, node, config):
+            argv = real_argv(host, port, node, config)
+            return [arg.replace("local-1", "local-99")
+                    for arg in argv]
+
+        monkeypatch.setattr(harness, "worker_argv", broken_argv)
+        start = time.monotonic()
+        with pytest.raises(ServeError, match="before handshake"):
+            run_scheme_served(tiny_config())
+        elapsed = time.monotonic() - start
+        assert elapsed < HANDSHAKE_TIMEOUT_S / 2
+        deadline = time.monotonic() + 10.0
+        while lingering_workers() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert lingering_workers() == []
+
+
 class TestGracefulShutdown:
     def test_all_workers_exit_zero_after_final(self):
         # run_scheme_served itself raises if any worker lingers or
