@@ -4,13 +4,18 @@ Three enforcement layers for the reproduction's core invariant (every
 run is a single-threaded, reproducible computation):
 
 * :mod:`repro.analysis.lint` / :mod:`repro.analysis.rules` — deco-lint,
-  the repo-specific AST rules (DL001-DL007) run by ``repro lint`` and
+  the repo-specific AST rules (DL001-DL010) run by ``repro lint`` and
   CI.
 * :mod:`repro.analysis.determinism` — the schedule-determinism harness:
   re-runs a config under permuted kernel tie-break salts and asserts
   bit-identical outcomes.
 * :mod:`repro.analysis.fsm` — per-scheme protocol FSMs validated
   against traced message flows.
+* :mod:`repro.analysis.explore` / :mod:`repro.analysis.hb` /
+  :mod:`repro.analysis.check` — the concurrency verifier
+  (``repro check``): small-scope interleaving model checking of
+  epoch-mode serve, and happens-before analysis of serve traces via
+  vector clocks.
 """
 
 from repro.analysis.determinism import (DEFAULT_SALTS,
@@ -18,10 +23,15 @@ from repro.analysis.determinism import (DEFAULT_SALTS,
                                         Fingerprint, check_all_schemes,
                                         check_determinism,
                                         fingerprint_run)
+from repro.analysis.explore import (ModelCoordinator, Violation,
+                                    explore_config, model_trace,
+                                    synthetic_merge_violations)
 from repro.analysis.fsm import (SCHEME_FSMS, FsmViolation, ProtocolFSM,
                                 ProtocolViolation,
                                 assert_fsm_conformance, check_fsm,
                                 extract_token_streams)
+from repro.analysis.hb import (HbReport, HbViolation, analyze,
+                               analyze_events, analyze_jsonl)
 from repro.analysis.lint import (Finding, LintRule, all_rules,
                                  lint_source, main, run_lint)
 from repro.analysis.rules import DEFAULT_RULES
@@ -33,4 +43,8 @@ __all__ = [
     "assert_fsm_conformance", "check_fsm", "extract_token_streams",
     "Finding", "LintRule", "all_rules", "lint_source", "main",
     "run_lint", "DEFAULT_RULES",
+    "ModelCoordinator", "Violation", "explore_config", "model_trace",
+    "synthetic_merge_violations",
+    "HbReport", "HbViolation", "analyze", "analyze_events",
+    "analyze_jsonl",
 ]

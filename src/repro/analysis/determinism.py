@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from collections.abc import Sequence
+from typing import Any
 
 from repro.core.records import RunResult
 from repro.core.runner import RunConfig, run_scheme
@@ -137,7 +138,7 @@ def check_determinism(config: RunConfig,
 
 def check_all_schemes(schemes: Sequence[str],
                       salts: Sequence[int] = DEFAULT_SALTS,
-                      **config_kwargs) -> dict[str, Fingerprint]:
+                      **config_kwargs: Any) -> dict[str, Fingerprint]:
     """Determinism-check several schemes on one small config.
 
     Shares the workload across schemes (same ``workload_key``).

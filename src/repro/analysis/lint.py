@@ -170,6 +170,13 @@ def select_rules(select: Sequence[str] | None = None) -> list[LintRule]:
         return rules
     known = {rule.code for rule in rules}
     wanted = {code.strip().upper() for code in select if code.strip()}
+    if not wanted:
+        # A degenerate selector ("", ",", whitespace) would otherwise
+        # select zero rules and report a clean run without linting
+        # anything.
+        raise ConfigurationError(
+            f"--select given but no rule codes in it; "
+            f"known: {sorted(known)}")
     unknown = wanted - known
     if unknown:
         raise ConfigurationError(
@@ -257,7 +264,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="deco-lint: repo-specific determinism and "
-                    "correctness rules (DL001-DL007)")
+                    "correctness rules (DL001-DL010)")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories (default: src/repro)")
     parser.add_argument("--select", default=None,

@@ -1,7 +1,8 @@
-"""The deco-lint rule set (DL001-DL007).
+"""The deco-lint rule set (DL001-DL010).
 
 Each rule encodes one clause of the simulator's determinism contract
-(see DESIGN.md section 8).  All rules are purely syntactic/AST-based —
+(see DESIGN.md section 8) or of the serve runtime's concurrency
+contract (sections 12-13).  All rules are purely syntactic/AST-based —
 they over-approximate where type information would be needed, and every
 rule supports per-line ``# decolint: disable=DLxxx`` suppression for
 the deliberate exceptions.
@@ -13,6 +14,9 @@ DL004  tracer hot-path calls must be guarded by ``.enabled``
 DL005  no mutable default arguments; no mutated module-level state
 DL006  no wire-size constant arithmetic outside the wire layer
 DL007  no direct repro.sim imports from the protocol core
+DL008  no in-place mutation of zero-copy batch/array views
+DL009  no ``REPRO_*`` environment reads outside config/bootstrap
+DL010  no blocking calls inside coordinator merge sections
 """
 
 from __future__ import annotations
@@ -205,8 +209,10 @@ class NoUnorderedIteration(LintRule):
             for node in self._scope_walk(scope_node):
                 yield from self._check_node(ctx, node, set_names)
 
-    def _scopes(self, tree: ast.Module):
-        scopes = [(tree, self._set_bindings(tree))]
+    def _scopes(self, tree: ast.Module
+                ) -> list[tuple[ast.AST, set[str]]]:
+        scopes: list[tuple[ast.AST, set[str]]] = [
+            (tree, self._set_bindings(tree))]
         for node in ast.walk(tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 scopes.append((node, self._set_bindings(node)))
@@ -226,7 +232,7 @@ class NoUnorderedIteration(LintRule):
                 names.add(node.target.id)
         return names
 
-    def _scope_walk(self, scope: ast.AST):
+    def _scope_walk(self, scope: ast.AST) -> Iterable[ast.AST]:
         """Walk a scope without descending into nested functions."""
         stack = list(ast.iter_child_nodes(scope))
         while stack:
@@ -685,6 +691,342 @@ class NoSimImportsInProtocolCore(LintRule):
                         f"instead")
 
 
+class NoViewMutation(LintRule):
+    """DL008: no in-place mutation of zero-copy batch/array views.
+
+    ``EventBatch._view``, ``RingBuffer.get_range`` and the
+    ``lift_range``/``lift_ranges`` kernels hand out ndarray *slices*
+    aliasing the shared ingest buffer — that aliasing is the whole
+    zero-copy optimisation.  Writing through such a view (``v[i] = x``,
+    ``v += ...``, ``v.sort()``, ``np.foo(..., out=v)``) silently
+    corrupts every other window sharing the buffer and breaks the
+    bit-identity contract between the codec on/off paths.  Copy first
+    (``v.copy()``, ``np.ascontiguousarray(v)``) if mutation is needed.
+
+    Heuristic: per function, names assigned from a view-producing call
+    are tainted; taint propagates through attribute access,
+    subscripting, tuple unpacking, and plain aliasing.  Any
+    subscript/attribute store, augmented assignment, mutating ndarray
+    method call, or ``out=`` argument whose base resolves to a tainted
+    name is flagged.
+    """
+
+    code = "DL008"
+    name = "no-view-mutation"
+    summary = ("in-place writes through _view/get_range/lift_range "
+               "results corrupt the shared zero-copy buffer")
+    scope = ()  # aliasing bugs are just as fatal in scripts
+
+    #: Methods whose return values alias their receiver's buffer.
+    VIEW_PRODUCERS = frozenset({
+        "_view", "get_range", "lift_range", "lift_ranges",
+    })
+    #: ndarray methods that mutate the receiver in place.
+    MUTATING_METHODS = frozenset({
+        "sort", "fill", "put", "partition", "resize", "itemset",
+        "setfield", "byteswap",
+    })
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        walker = NoUnorderedIteration()
+        for scope_node, _ in walker._scopes(ctx.tree):
+            tainted = self._tainted_names(walker, scope_node)
+            for node in walker._scope_walk(scope_node):
+                yield from self._check_node(ctx, node, tainted)
+
+    def _tainted_names(self, walker: NoUnorderedIteration,
+                       scope: ast.AST) -> set[str]:
+        """Fixpoint over assignments: names holding view-derived data.
+
+        Statement order is ignored (a lint over-approximation): a name
+        ever bound to view-derived data stays tainted even if later
+        rebound to a copy.
+        """
+        tainted: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in walker._scope_walk(scope):
+                value: ast.AST | None = None
+                targets: list[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    value, targets = node.value, list(node.targets)
+                elif (isinstance(node, ast.AnnAssign)
+                      and node.value is not None):
+                    value, targets = node.value, [node.target]
+                elif isinstance(node, ast.NamedExpr):
+                    value, targets = node.value, [node.target]
+                if value is None:
+                    continue
+                for target, expr in self._pairs(targets, value):
+                    if not self._is_view(expr, tainted):
+                        continue
+                    for name in self._target_names(target):
+                        if name not in tainted:
+                            tainted.add(name)
+                            changed = True
+        return tainted
+
+    def _pairs(self, targets: list[ast.AST], value: ast.AST
+               ) -> Iterable[tuple[ast.AST, ast.AST]]:
+        """Match targets to value exprs, splitting parallel tuple
+        assignments (``a, b = view(), other``) element-wise."""
+        for target in targets:
+            if (isinstance(target, (ast.Tuple, ast.List))
+                    and isinstance(value, (ast.Tuple, ast.List))
+                    and len(target.elts) == len(value.elts)
+                    and not any(isinstance(e, ast.Starred)
+                                for e in target.elts)):
+                yield from zip(target.elts, value.elts)
+            else:
+                yield target, value
+
+    def _target_names(self, target: ast.AST) -> Iterable[str]:
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from self._target_names(elt)
+        elif isinstance(target, ast.Starred):
+            yield from self._target_names(target.value)
+
+    def _is_view(self, node: ast.AST, tainted: set[str]) -> bool:
+        """Whether an expression (syntactically) aliases view data."""
+        if isinstance(node, ast.Call):
+            func = node.func
+            return (isinstance(func, ast.Attribute)
+                    and func.attr in self.VIEW_PRODUCERS)
+        if isinstance(node, (ast.Attribute, ast.Subscript,
+                             ast.Starred)):
+            return self._is_view(node.value, tainted)
+        if isinstance(node, ast.IfExp):
+            return (self._is_view(node.body, tainted)
+                    or self._is_view(node.orelse, tainted))
+        return isinstance(node, ast.Name) and node.id in tainted
+
+    def _check_node(self, ctx: FileContext, node: ast.AST,
+                    tainted: set[str]) -> Iterable[Finding]:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, (ast.Subscript, ast.Attribute))
+                        and self._is_view(target.value, tainted)):
+                    yield self.finding(
+                        ctx, target,
+                        "in-place write through a zero-copy view; "
+                        "copy first (`.copy()` / "
+                        "`np.ascontiguousarray`)")
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if (isinstance(target, (ast.Subscript, ast.Attribute))
+                    and self._is_view(target.value, tainted)) or \
+                    self._is_view(target, tainted):
+                yield self.finding(
+                    ctx, target,
+                    "augmented assignment mutates a zero-copy view "
+                    "in place; copy first")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in self.MUTATING_METHODS
+                    and self._is_view(func.value, tainted)):
+                yield self.finding(
+                    ctx, node,
+                    f"`.{func.attr}()` mutates a zero-copy view in "
+                    f"place; copy first")
+            for kw in node.keywords:
+                if kw.arg == "out" and self._is_view(kw.value,
+                                                     tainted):
+                    yield self.finding(
+                        ctx, kw.value,
+                        "`out=` targets a zero-copy view; the write "
+                        "aliases the shared buffer — copy first")
+
+
+class NoEnvReadOutsideBootstrap(LintRule):
+    """DL009: ``REPRO_*`` environment reads are config/bootstrap-only.
+
+    Behaviour flags (``REPRO_WIRE_CODEC``, ``REPRO_AGG_INDEX``, …) are
+    read *once*, at a sanctioned bootstrap point, and propagated
+    explicitly (run configs, :data:`repro.sweep.PROPAGATED_ENV`, serve
+    worker spawn env).  An ``os.environ`` read of a ``REPRO_*`` key
+    anywhere else creates hidden config: two "identical" runs diverge
+    because some deep module consulted the environment mid-run, which
+    neither the determinism harness nor the sweep propagation list
+    knows about.
+    """
+
+    code = "DL009"
+    name = "no-env-read-outside-bootstrap"
+    summary = ("REPRO_* environment reads outside the sanctioned "
+               "config/bootstrap modules create hidden run config")
+    scope = ()  # in-package only (see applies_to)
+
+    #: The sanctioned read sites: each owns one flag, reads it at
+    #: construction/bootstrap time, and documents it.
+    EXEMPT = ("repro/wire/codec", "repro/core/agg_index",
+              "repro/core/workload", "repro/sweep",
+              "repro/serve/worker", "repro/serve/bench")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Out-of-package scripts/benchmarks read REPRO_* on purpose
+        # (that is what the flags are for); the rule polices the
+        # package internals only.
+        if not ctx.in_package():
+            return False
+        pkg = ctx.package_path()
+        return not any(pkg.startswith(prefix) for prefix in self.EXEMPT)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        env_consts = self._env_constants(ctx.tree)
+        collector = _AliasCollector()
+        collector.visit(ctx.tree)
+        aliases = collector.aliases
+        for node in ast.walk(ctx.tree):
+            yield from self._check_node(ctx, node, env_consts, aliases)
+
+    def _env_constants(self, tree: ast.Module) -> set[str]:
+        """Module-level names bound to ``"REPRO_..."`` literals."""
+        consts: set[str] = set()
+        for stmt in tree.body:
+            targets: list[ast.AST] = []
+            value: ast.AST | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value:
+                targets, value = [stmt.target], stmt.value
+            if self._is_env_key(value, set()):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        consts.add(target.id)
+        return consts
+
+    def _is_env_key(self, node: ast.AST | None,
+                    env_consts: set[str]) -> bool:
+        if (isinstance(node, ast.Constant)
+                and isinstance(node.value, str)):
+            return node.value.startswith("REPRO_")
+        return isinstance(node, ast.Name) and node.id in env_consts
+
+    def _check_node(self, ctx: FileContext, node: ast.AST,
+                    env_consts: set[str],
+                    aliases: dict[str, str]) -> Iterable[Finding]:
+        # os.environ.get("REPRO_X") / os.getenv("REPRO_X")
+        if isinstance(node, ast.Call):
+            chain = _resolve_chain(node.func, aliases)
+            if (chain in ("os.environ.get", "os.getenv") and node.args
+                    and self._is_env_key(node.args[0], env_consts)):
+                yield self.finding(
+                    ctx, node,
+                    "REPRO_* environment read outside a bootstrap "
+                    "module; read it at the sanctioned site and pass "
+                    "the value explicitly")
+        # os.environ["REPRO_X"] in load context (stores are setup)
+        elif (isinstance(node, ast.Subscript)
+              and isinstance(node.ctx, ast.Load)
+              and _resolve_chain(node.value, aliases) == "os.environ"
+              and self._is_env_key(node.slice, env_consts)):
+            yield self.finding(
+                ctx, node,
+                "REPRO_* environment read outside a bootstrap module; "
+                "pass the value explicitly")
+        # "REPRO_X" in os.environ
+        elif isinstance(node, ast.Compare):
+            for op, comp in zip(node.ops, node.comparators):
+                if (isinstance(op, (ast.In, ast.NotIn))
+                        and self._is_env_key(node.left, env_consts)
+                        and _resolve_chain(comp, aliases)
+                        == "os.environ"):
+                    yield self.finding(
+                        ctx, node,
+                        "REPRO_* environment probe outside a "
+                        "bootstrap module; pass the value explicitly")
+
+
+class NoBlockingInMergeSections(LintRule):
+    """DL010: coordinator merge sections must not block.
+
+    The epoch merge (DESIGN section 12) operates on *fully received*
+    op batches: every reply is collected before
+    ``Coordinator._merge_epoch`` runs, which is what makes the K-way
+    merge a pure, deterministic function of its queues — the property
+    the model checker (``repro check --explore``) exhaustively
+    verifies.  A blocking call inside a merge section —
+    ``time.sleep``, a socket operation, a framing send/recv, an
+    ``await`` — reintroduces arrival-order timing into the merge
+    decision, invalidating the small-scope proof and deadlocking the
+    serve loop under slow links.
+
+    Applies to all of :mod:`repro.serve.merge` (the extracted merge
+    core) and to ``_merge*``/``_apply*`` methods of the coordinator.
+    """
+
+    code = "DL010"
+    name = "no-blocking-in-merge-sections"
+    summary = ("blocking calls (sleep/socket/framing/await) inside "
+               "coordinator merge sections break merge determinism")
+    scope = ("repro/serve/coordinator", "repro/serve/merge")
+
+    #: Resolved call targets that block on the host OS.
+    BLOCKING_EXACT = frozenset({
+        "time.sleep", "select.select", "socket.create_connection",
+        "socket.socket", "subprocess.run", "subprocess.check_call",
+        "subprocess.check_output", "subprocess.Popen",
+    })
+    #: Any framing-layer transfer, sync or async, by suffix.
+    BLOCKING_SUFFIXES = ("send_frame", "recv_frame",
+                         "send_frame_async", "recv_frame_async",
+                         "connect_with_retry")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Scripts outside the package have no merge sections.
+        if not ctx.in_package():
+            return False
+        pkg = ctx.package_path()
+        return any(pkg.startswith(prefix) for prefix in self.scope)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        collector = _AliasCollector()
+        collector.visit(ctx.tree)
+        aliases = collector.aliases
+        whole_module = ctx.package_path().startswith(
+            "repro/serve/merge")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if not whole_module and not node.name.startswith(
+                    ("_merge", "_apply")):
+                continue
+            yield from self._check_section(ctx, node, aliases)
+
+    def _check_section(self, ctx: FileContext, fn: ast.AST,
+                       aliases: dict[str, str]) -> Iterable[Finding]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Await):
+                yield self.finding(
+                    ctx, node,
+                    "`await` inside a merge section yields to the "
+                    "event loop mid-merge; collect all replies "
+                    "before merging")
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _resolve_chain(node.func, aliases)
+            if chain is None:
+                continue
+            if chain in self.BLOCKING_EXACT:
+                yield self.finding(
+                    ctx, node,
+                    f"blocking call `{chain}(...)` inside a merge "
+                    f"section; the K-way merge must be a pure "
+                    f"function of its queues")
+            elif chain.endswith(self.BLOCKING_SUFFIXES):
+                yield self.finding(
+                    ctx, node,
+                    f"framing transfer `{chain}(...)` inside a merge "
+                    f"section; collect all replies before merging")
+
+
 #: Registered rules, in code order.
 DEFAULT_RULES: tuple[type, ...] = (
     NoWallClockOrUnseededRandom,
@@ -694,4 +1036,7 @@ DEFAULT_RULES: tuple[type, ...] = (
     NoSharedMutableState,
     NoWireSizeArithmetic,
     NoSimImportsInProtocolCore,
+    NoViewMutation,
+    NoEnvReadOutsideBootstrap,
+    NoBlockingInMergeSections,
 )

@@ -14,7 +14,10 @@ Subcommands:
 * ``bench-serve`` — the serve load benchmark; writes
   ``BENCH_serve.json``.
 * ``lint`` — run deco-lint, the repo-specific static-analysis pass
-  (rules DL001-DL007; see :mod:`repro.analysis`).
+  (rules DL001-DL010; see :mod:`repro.analysis`).
+* ``check`` — the concurrency verifier: small-scope interleaving model
+  checking of epoch-mode serve and happens-before analysis of captured
+  serve traces (see :mod:`repro.analysis.check`).
 """
 
 from __future__ import annotations
@@ -186,7 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "the benchmark fails (CI perf gate)")
 
     lint_p = sub.add_parser(
-        "lint", help="run deco-lint (rules DL001-DL007)")
+        "lint", help="run deco-lint (rules DL001-DL010)")
     lint_p.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories (default: src/repro)")
     lint_p.add_argument("--select", default=None,
@@ -195,6 +198,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print findings but always exit 0")
     lint_p.add_argument("--list-rules", action="store_true",
                         help="list rules and exit")
+
+    check_p = sub.add_parser(
+        "check",
+        help="concurrency verifier: interleaving model checking "
+             "(--explore) and happens-before trace analysis (--trace)")
+    check_p.add_argument("--explore", action="store_true")
+    check_p.add_argument("--trace", metavar="PATH", default=None)
+    check_p.add_argument("--schemes", default=None)
+    check_p.add_argument("--nodes", default=None)
+    check_p.add_argument("--epochs", type=int, default=None)
+    check_p.add_argument("--budget", type=int, default=None)
+    check_p.add_argument("--seed-bug", default=None)
+    check_p.add_argument("--expect-violations", action="store_true")
     return parser
 
 
@@ -228,6 +244,27 @@ def main(argv: list[str] | None = None) -> int:
         if args.list_rules:
             lint_argv.append("--list-rules")
         return lint_main(lint_argv)
+
+    if args.command == "check":
+        from repro.analysis.check import main as check_main
+        check_argv = []
+        if args.explore:
+            check_argv.append("--explore")
+        if args.trace is not None:
+            check_argv += ["--trace", args.trace]
+        if args.schemes is not None:
+            check_argv += ["--schemes", args.schemes]
+        if args.nodes is not None:
+            check_argv += ["--nodes", args.nodes]
+        if args.epochs is not None:
+            check_argv += ["--epochs", str(args.epochs)]
+        if args.budget is not None:
+            check_argv += ["--budget", str(args.budget)]
+        if args.seed_bug is not None:
+            check_argv += ["--seed-bug", args.seed_bug]
+        if args.expect_violations:
+            check_argv.append("--expect-violations")
+        return check_main(check_argv)
 
     if args.command == "schemes":
         import repro.baselines  # noqa: F401

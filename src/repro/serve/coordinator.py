@@ -48,11 +48,14 @@ from repro.core.protocol import make_sizer
 from repro.core.records import WindowOutcome
 from repro.core.runner import RunConfig, make_context
 from repro.errors import ServeError
+from repro.obs.events import (COORD_PROCESS, FRAME_RECV, FRAME_SEND,
+                              OP_APPLY)
 from repro.obs.tracer import RunTracer
 from repro.runtime.api import ROOT_NAME, local_name
 from repro.runtime.driver import simulation_cap_s
 from repro.runtime.node import Behavior, NodeProfile
 from repro.serve import framing
+from repro.serve.merge import EpochMerge, MergeKey, slot_key
 from repro.serve.protocol import (OP_CANCEL, OP_OUTCOME, OP_SCHEDULE,
                                   OP_SEND, OP_STOP, ZERO_COUNTERS,
                                   outcome_from_json, sender_table)
@@ -96,38 +99,6 @@ class WindowSample:
         self.emit_time = emit_time
         #: Wall seconds since the run loop started.
         self.wall_offset_s = wall_offset_s
-
-
-class _EpochState:
-    """Merge bookkeeping for one epoch replay.
-
-    Tracks the timers workers created *inside* the epoch below the
-    horizon: they fired (or were cancelled) worker-locally, so they
-    must never enter the coordinator's kernel — instead each gets a
-    canonical merge key, class 1 so same-``(time, phase, rank)``
-    shipped slots (class 0, smaller pre-epoch kernel sequence numbers)
-    sort first, tie-broken by node order + per-node creation counter.
-    """
-
-    __slots__ = ("horizon", "timer_keys", "_order", "_created")
-
-    def __init__(self, horizon: float,
-                 node_order: dict[str, int]) -> None:
-        self.horizon = horizon
-        self.timer_keys: dict[tuple[str, int], tuple[Any, ...]] = {}
-        self._order = node_order
-        self._created: dict[str, int] = {}
-
-    def record_timer(self, name: str, at: float, phase: int,
-                     rank: tuple[str, ...], token: int) -> None:
-        n = self._created.get(name, 0)
-        self._created[name] = n + 1
-        self.timer_keys[(name, token)] = (
-            at, phase, rank, 1, (self._order[name], n))
-
-    def drop_timer(self, name: str, token: int) -> bool:
-        """Forget a cancelled epoch-local timer; False if unknown."""
-        return self.timer_keys.pop((name, token), None) is not None
 
 
 class Coordinator:
@@ -211,10 +182,20 @@ class Coordinator:
         #: Canonical merge keys of the current epoch's shipped slots,
         #: per node, aligned with the slot lists (class 0; tie-break is
         #: global kernel pop position).
-        self._slot_keys: dict[str, list[tuple[Any, ...]]] = {}
+        self._slot_keys: dict[str, list[MergeKey]] = {}
+        #: When set (the model checker sets it to ``[]``), every merge
+        #: application appends ``(worker, canonical key)`` here across
+        #: epochs — the global applied order the checker asserts on.
+        self.applied_log: list[tuple[str, MergeKey]] | None = None
         self.finals: dict[str, dict[str, Any]] = {}
         self.wall_seconds = 0.0
         self._wall_start = 0.0
+        # Causal instrumentation (active only when tracing): the
+        # coordinator's own program order, its outgoing frame
+        # numbering, and the current epoch round ordinal.
+        self._causal_seq = 0
+        self._frame_seq = 0
+        self._epoch_idx = -1
 
     # -- connection management ---------------------------------------------
 
@@ -261,7 +242,17 @@ class Coordinator:
                 "one kernel event produced two worker dispatches")
         self._dispatch = dispatch
 
-    async def _rpc(self, name: str, kind: int, header: dict,
+    def _causal(self, kind: str, **data: Any) -> None:
+        """Record one coordinator causal event (see repro.obs.events):
+        own program order via ``seq``, frame edges via ``fseq``."""
+        if self.tracer is None:
+            return
+        self._causal_seq += 1
+        self.tracer.event(kind, self.topo.sim.now, COORD_PROCESS,
+                          seq=self._causal_seq, **data)
+
+    async def _rpc(self, name: str, kind: int,
+                   header: dict[str, Any],
                    blob: bytes = b"") -> None:
         """One lockstep round-trip: instruct, await ops, apply them."""
         try:
@@ -270,6 +261,11 @@ class Coordinator:
             raise ServeError(f"no connection for node {name!r}") from None
         if self.tracer is not None:
             self.tracer.inc("serve_frames_sent", name)
+            self._frame_seq += 1
+            header = dict(header)
+            header["f"] = self._frame_seq
+            self._causal(FRAME_SEND, fseq=self._frame_seq, dst=name,
+                         fkind=kind)
         try:
             await framing.send_frame_async(writer, kind, header, blob)
             reply_kind, reply, reply_blob = \
@@ -285,13 +281,16 @@ class Coordinator:
                 f"unexpected reply kind {reply_kind} from {name!r}")
         if self.tracer is not None:
             self.tracer.inc("serve_frames_recv", name)
+            if "f" in reply:
+                self._causal(FRAME_RECV, fseq=reply["f"], edge=name,
+                             fkind=reply_kind)
         if "c" in reply:
             self.worker_counters[name] = reply["c"]
         self._apply_ops(name, reply["ops"], reply_blob)
 
     def _apply_ops(self, name: str, ops: list[list[Any]],
                    blob: bytes,
-                   epoch: _EpochState | None = None) -> None:
+                   epoch: EpochMerge | None = None) -> None:
         """Apply one op list; ``epoch`` keeps sub-horizon timers (which
         already ran worker-locally) out of the kernel during a merge."""
         sim = self.topo.sim
@@ -443,6 +442,7 @@ class Coordinator:
                          - time.monotonic())
                 if delay > 0:
                     await asyncio.sleep(delay)
+            self._epoch_idx += 1
             horizon = event.time + self._lookahead
             slots, blobs = self._collect_epoch(horizon, cap)
             names = [n for n in self.node_names if slots[n]]
@@ -495,7 +495,8 @@ class Coordinator:
                 slots[name].append(
                     ["deliver", key[0], key[1], list(key[2]), offset,
                      len(frame)])
-            self._slot_keys[name].append((*key, 0, (pos,)))
+            self._slot_keys[name].append(
+                slot_key(key[0], key[1], key[2], pos))
             pos += 1
         return slots, blobs
 
@@ -508,12 +509,17 @@ class Coordinator:
         except KeyError:
             raise ServeError(
                 f"no connection for node {name!r}") from None
+        header: dict[str, Any] = {
+            "h": horizon, "slots": slots, "e": self._epoch_idx}
         if self.tracer is not None:
             self.tracer.inc("serve_frames_sent", name)
+            self._frame_seq += 1
+            header["f"] = self._frame_seq
+            self._causal(FRAME_SEND, fseq=self._frame_seq, dst=name,
+                         fkind=framing.EPOCH)
         try:
             await framing.send_frame_async(
-                writer, framing.EPOCH,
-                {"h": horizon, "slots": slots}, bytes(blob))
+                writer, framing.EPOCH, header, bytes(blob))
             kind, reply, reply_blob = \
                 await framing.recv_frame_async(reader)
         except (ServeError, ConnectionError) as exc:
@@ -527,6 +533,9 @@ class Coordinator:
                 f"unexpected reply kind {kind} from {name!r}")
         if self.tracer is not None:
             self.tracer.inc("serve_frames_recv", name)
+            if "f" in reply:
+                self._causal(FRAME_RECV, fseq=reply["f"], edge=name,
+                             fkind=kind)
         return reply["batches"], reply_blob
 
     def _merge_epoch(
@@ -545,36 +554,31 @@ class Coordinator:
         the same ``now`` the oracle would have.
         """
         sim = self.topo.sim
-        epoch = _EpochState(
-            horizon, {n: i for i, n in enumerate(self.node_names)})
+        epoch = EpochMerge(
+            horizon, {n: i for i, n in enumerate(self.node_names)},
+            self._slot_keys)
         queues = {name: deque(batches)
                   for name, (batches, _) in replies.items()}
         blobs = {name: blob for name, (_, blob) in replies.items()}
-
-        def head_key(name: str) -> tuple[Any, ...]:
-            kind, ref = queues[name][0]["ref"]
-            if kind == "slot":
-                return self._slot_keys[name][ref]
-            try:
-                return epoch.timer_keys[(name, ref)]
-            except KeyError:
-                raise ServeError(
-                    f"node {name!r} fired unknown epoch timer "
-                    f"{ref}") from None
-
         while not self._stop:
-            best: str | None = None
-            best_key: tuple[Any, ...] | None = None
-            for name, queue in queues.items():
-                if not queue:
-                    continue
-                key = head_key(name)
-                if best_key is None or key < best_key:
-                    best, best_key = name, key
-            if best is None or best_key is None:
+            popped = epoch.pop_next(queues)
+            if popped is None:
                 break
-            batch = queues[best].popleft()
+            best, batch, best_key = popped
+            if self.applied_log is not None:
+                self.applied_log.append((best, best_key))
             sim._now = best_key[0]
+            if self.tracer is not None:
+                ref = batch["ref"]
+                self._causal(
+                    OP_APPLY, src=best, ref=f"{ref[0]}:{ref[1]}",
+                    epoch=self._epoch_idx,
+                    kt=best_key[0], kp=best_key[1],
+                    kr=",".join(best_key[2]), kc=best_key[3],
+                    kb=",".join(str(x) for x in best_key[4]),
+                    windows=",".join(
+                        str(op[1]["index"]) for op in batch["ops"]
+                        if op[0] == OP_OUTCOME))
             self._apply_ops(best, batch["ops"], blobs[best],
                             epoch=epoch)
             self.worker_counters[best] = batch["c"]

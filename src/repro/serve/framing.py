@@ -27,6 +27,7 @@ import json
 import socket
 import struct
 import time
+from typing import Any
 
 from repro.errors import ServeError
 
@@ -68,7 +69,8 @@ _HEAD = struct.Struct("<BI")
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 
-def encode_frame(kind: int, header: dict, blob: bytes = b"") -> bytes:
+def encode_frame(kind: int, header: dict[str, Any],
+                 blob: bytes = b"") -> bytes:
     """Serialize one control frame."""
     head = json.dumps(header, separators=(",", ":")).encode()
     total = _HEAD.size + len(head) + len(blob)
@@ -76,7 +78,7 @@ def encode_frame(kind: int, header: dict, blob: bytes = b"") -> bytes:
                      head, blob))
 
 
-def _parse(kind_head_blob: bytes) -> tuple[int, dict, bytes]:
+def _parse(kind_head_blob: bytes) -> tuple[int, dict[str, Any], bytes]:
     kind, head_len = _HEAD.unpack_from(kind_head_blob, 0)
     at = _HEAD.size
     try:
@@ -106,13 +108,13 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
     return b"".join(parts)
 
 
-def send_frame(sock: socket.socket, kind: int, header: dict,
+def send_frame(sock: socket.socket, kind: int, header: dict[str, Any],
                blob: bytes = b"") -> None:
     """Write one frame to a blocking socket."""
     sock.sendall(encode_frame(kind, header, blob))
 
 
-def recv_frame(sock: socket.socket) -> tuple[int, dict, bytes]:
+def recv_frame(sock: socket.socket) -> tuple[int, dict[str, Any], bytes]:
     """Read one frame from a blocking socket."""
     total = _LEN.unpack(_recv_exactly(sock, _LEN.size))[0]
     _check_len(total)
@@ -151,14 +153,14 @@ def connect_with_retry(host: str, port: int, attempts: int = 8,
 # -- asyncio transport (coordinator) -------------------------------------------
 
 async def send_frame_async(writer: asyncio.StreamWriter, kind: int,
-                           header: dict, blob: bytes = b"") -> None:
+                           header: dict[str, Any], blob: bytes = b"") -> None:
     """Write one frame to an asyncio stream."""
     writer.write(encode_frame(kind, header, blob))
     await writer.drain()
 
 
 async def recv_frame_async(
-        reader: asyncio.StreamReader) -> tuple[int, dict, bytes]:
+        reader: asyncio.StreamReader) -> tuple[int, dict[str, Any], bytes]:
     """Read one frame from an asyncio stream.
 
     Raises :class:`ServeError` on EOF — a worker connection closing

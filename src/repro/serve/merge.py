@@ -1,0 +1,151 @@
+"""Canonical-key epoch merge: the ordering core of epoch-mode serve.
+
+One epoch's replay is a K-way merge over per-worker FIFO queues of op
+batches: every batch carries a *ref* naming the item that produced it
+(a shipped slot or an epoch-created timer), every ref resolves to one
+canonical merge key, and the coordinator always applies the batch with
+the smallest key next.  Keys are
+
+``(time, phase, rank, class, tie)``
+
+where ``class`` separates shipped slots (0 — popped from the kernel
+before the epoch, so their pre-epoch sequence numbers are smaller than
+anything assigned mid-epoch) from epoch-created timers (1), and ``tie``
+is the global kernel pop position for slots or ``(node order, per-node
+creation counter)`` for timers.
+
+This module is deliberately transport-free and is driven by *both* the
+live TCP coordinator (:mod:`repro.serve.coordinator`) and the
+small-scope interleaving model checker
+(:mod:`repro.analysis.explore`) — the checker's exhaustive enumeration
+therefore exercises the shipped merge code, not a re-implementation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import ServeError
+
+#: One canonical merge key: ``(time, phase, rank, class, tie)``.
+MergeKey = tuple[float, int, tuple[str, ...], int, tuple[int, ...]]
+
+#: One worker's epoch reply: FIFO of ``{"ref", "ops", "c"}`` batches.
+BatchQueue = deque[dict[str, Any]]
+
+#: Test-only fault injection for the verifier's own regression tests
+#: (never set outside tests/CI canaries).  ``"drop-phase"`` removes the
+#: phase component from the *comparison* key — the canonical keys the
+#: merge reports stay truthful, so the model checker and the
+#: happens-before analyzer must both catch the resulting inversions.
+SEED_BUG: str | None = None
+
+#: The seed-bug values :func:`effective_key` understands.
+KNOWN_BUGS = ("drop-phase",)
+
+
+def slot_key(time: float, phase: int, rank: tuple[str, ...],
+             pos: int) -> MergeKey:
+    """Class-0 key for a shipped slot (``pos`` = global pop position)."""
+    return (time, phase, rank, 0, (pos,))
+
+
+def effective_key(key: MergeKey, bug: str | None) -> tuple[Any, ...]:
+    """The comparison key the merge actually sorts by.
+
+    Identity unless a test seeded a deliberate bug; keeping the
+    truncation here (and nowhere else) means one flag flips the whole
+    runtime into its known-broken variant for verifier regression
+    tests.
+    """
+    if bug == "drop-phase":
+        return (key[0], *key[2:])
+    return key
+
+
+class EpochMerge:
+    """Merge bookkeeping and head selection for one epoch replay.
+
+    Tracks the timers workers created *inside* the epoch below the
+    horizon: they fired (or were cancelled) worker-locally, so they
+    must never enter the coordinator's kernel — instead each gets a
+    canonical merge key, class 1 so same-``(time, phase, rank)``
+    shipped slots (class 0, smaller pre-epoch kernel sequence numbers)
+    sort first, tie-broken by node order + per-node creation counter.
+
+    ``applied`` records the full canonical key of every popped batch in
+    application order — the executable trace the model checker asserts
+    canonical (it stays truthful even under a seeded comparison bug).
+    """
+
+    __slots__ = ("horizon", "timer_keys", "slot_keys", "applied",
+                 "_order", "_created", "_bug")
+
+    def __init__(self, horizon: float, node_order: dict[str, int],
+                 slot_keys: dict[str, list[MergeKey]],
+                 bug: str | None = None) -> None:
+        self.horizon = horizon
+        self.timer_keys: dict[tuple[str, int], MergeKey] = {}
+        self.slot_keys = slot_keys
+        self.applied: list[tuple[str, MergeKey]] = []
+        self._order = node_order
+        self._created: dict[str, int] = {}
+        self._bug = SEED_BUG if bug is None else bug
+
+    def record_timer(self, name: str, at: float, phase: int,
+                     rank: tuple[str, ...], token: int) -> None:
+        """Key an epoch-created sub-horizon timer (it ran worker-side)."""
+        n = self._created.get(name, 0)
+        self._created[name] = n + 1
+        self.timer_keys[(name, token)] = (
+            at, phase, rank, 1, (self._order[name], n))
+
+    def drop_timer(self, name: str, token: int) -> bool:
+        """Forget a cancelled epoch-local timer; False if unknown."""
+        return self.timer_keys.pop((name, token), None) is not None
+
+    def head_key(self, name: str,
+                 ref: tuple[str, int] | list[Any]) -> MergeKey:
+        """The canonical key of one batch ref (slot index or timer
+        token).
+
+        Raises:
+            ServeError: for a timer token the merge never saw a
+                schedule op for — a worker/merge bookkeeping mismatch.
+        """
+        kind, idx = ref
+        if kind == "slot":
+            return self.slot_keys[name][idx]
+        try:
+            return self.timer_keys[(name, idx)]
+        except KeyError:
+            raise ServeError(
+                f"node {name!r} fired unknown epoch timer "
+                f"{idx}") from None
+
+    def pop_next(self, queues: dict[str, BatchQueue]
+                 ) -> tuple[str, dict[str, Any], MergeKey] | None:
+        """Pop the globally-next batch across all worker queues.
+
+        Selection iterates ``queues`` in dict insertion order — the
+        one degree of freedom reply arrival order has; the model
+        checker permutes it and asserts the merge result invariant.
+        Returns ``(worker, batch, canonical key)``, or None when every
+        queue is drained.
+        """
+        best: str | None = None
+        best_key: MergeKey | None = None
+        best_cmp: tuple[Any, ...] | None = None
+        for name, queue in queues.items():
+            if not queue:
+                continue
+            key = self.head_key(name, queue[0]["ref"])
+            cmp = effective_key(key, self._bug)
+            if best_cmp is None or cmp < best_cmp:
+                best, best_key, best_cmp = name, key, cmp
+        if best is None or best_key is None:
+            return None
+        batch = queues[best].popleft()
+        self.applied.append((best, best_key))
+        return best, batch, best_key

@@ -40,6 +40,8 @@ from typing import Any
 from repro.core.runner import RunConfig, make_context
 from repro.core.workload import Workload
 from repro.errors import ServeError, SimulationError
+from repro.obs.events import (COORD_PROCESS, FRAME_RECV, FRAME_SEND,
+                              OP_EMIT, TIMER_FIRE, TIMER_SCHED)
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.api import (PHASE_PROTOCOL, ROOT_NAME, TimerHandle,
                                local_name)
@@ -187,6 +189,31 @@ class WorkerRuntime:
                                      int, int]] = []
         self._epoch_counter = 0
         self._epoch_cancelled: set[int] = set()
+        # Causal instrumentation (active only when tracing): own
+        # program order, outgoing frame numbering, and the epoch round
+        # ordinal the coordinator stamps on each EPOCH frame.
+        self._causal_seq = 0
+        self._frame_seq = 0
+        self._epoch_idx = -1
+
+    def _causal(self, kind: str, **data: Any) -> None:
+        """Record one causal event (see :mod:`repro.obs.events`):
+        ``seq`` carries this process's program order."""
+        if not self.tracer.enabled:
+            return
+        self._causal_seq += 1
+        self.tracer.event(kind, self.now, self.node_name,
+                          seq=self._causal_seq, **data)
+
+    def reply_frame_tag(self, kind: int) -> int | None:
+        """Allocate and record this reply frame's causal id; None when
+        untraced (the socket loop then omits the ``f`` header)."""
+        if not self.tracer.enabled:
+            return None
+        self._frame_seq += 1
+        self._causal(FRAME_SEND, fseq=self._frame_seq,
+                     dst=COORD_PROCESS, fkind=kind)
+        return self._frame_seq
 
     # -- op emission (called from ServeNode) -------------------------------
 
@@ -197,6 +224,8 @@ class WorkerRuntime:
         handle = _ServeTimer(token, self)
         self._timers[token] = (callback, handle)
         self.ops.append([OP_SCHEDULE, time, phase, list(rank), token])
+        if self.tracer.enabled:
+            self._causal(TIMER_SCHED, token=token, at=time)
         if self._epoch_h is not None and time < self._epoch_h:
             # Sub-horizon timer created mid-epoch: it fires locally in
             # this same epoch (the coordinator tracks it from the
@@ -221,12 +250,15 @@ class WorkerRuntime:
 
     # -- dispatch ----------------------------------------------------------
 
-    def dispatch(self, kind: int, header: dict,
+    def dispatch(self, kind: int, header: dict[str, Any],
                  blob: bytes) -> tuple[list[list[Any]], bytes]:
         """Execute one coordinator instruction; returns (ops, blob)."""
         self.ops = []
         self.opblob = bytearray()
         self.now = header.get("now", self.now)
+        if self.tracer.enabled and "f" in header:
+            self._causal(FRAME_RECV, fseq=header["f"],
+                         edge=COORD_PROCESS, fkind=kind)
         before = len(self.ctx.result.outcomes)
         if kind == framing.START:
             self.node.start()
@@ -240,17 +272,7 @@ class WorkerRuntime:
                           sender=f"source-{self.local_index}",
                           sources=self.config.sources_per_node)
         elif kind == framing.RUN:
-            token = header["token"]
-            try:
-                callback, handle = self._timers.pop(token)
-            except KeyError:
-                raise ServeError(
-                    f"unknown or consumed timer token {token} on "
-                    f"{self.node_name}") from None
-            # The kernel marks an executing event cancelled so a late
-            # cancel() is a no-op; mirror that on the worker handle.
-            handle.cancelled = True
-            callback()
+            self._run_timer(header["token"])
         elif kind == framing.DELIVER:
             self.node.deliver(self.codec.decode_message(bytes(blob)))
         else:
@@ -260,6 +282,11 @@ class WorkerRuntime:
         # simulator, so no scheme code needs serve-specific hooks.
         for outcome in self.ctx.result.outcomes[before:]:
             self.ops.append([OP_OUTCOME, outcome_to_json(outcome)])
+        if self.tracer.enabled:
+            self._causal(OP_EMIT, ref="rpc", epoch=-1,
+                         windows=",".join(
+                             str(o.index) for o in
+                             self.ctx.result.outcomes[before:]))
         return self.ops, bytes(self.opblob)
 
     # -- epoch dispatch ----------------------------------------------------
@@ -272,10 +299,14 @@ class WorkerRuntime:
             raise ServeError(
                 f"unknown or consumed timer token {token} on "
                 f"{self.node_name}") from None
+        # The kernel marks an executing event cancelled so a late
+        # cancel() is a no-op; mirror that on the worker handle.
         handle.cancelled = True
+        if self.tracer.enabled:
+            self._causal(TIMER_FIRE, token=token)
         callback()
 
-    def dispatch_epoch(self, header: dict,
+    def dispatch_epoch(self, header: dict[str, Any],
                        blob: bytes) -> tuple[list[dict[str, Any]],
                                              bytes]:
         """Execute one whole epoch locally; returns (batches, blob).
@@ -294,6 +325,10 @@ class WorkerRuntime:
         its last applied item.
         """
         slots = header["slots"]
+        self._epoch_idx = header.get("e", -1)
+        if self.tracer.enabled and "f" in header:
+            self._causal(FRAME_RECV, fseq=header["f"],
+                         edge=COORD_PROCESS, fkind=framing.EPOCH)
         self._epoch_h = header["h"]
         self._epoch_heap = []
         self._epoch_counter = 0
@@ -343,6 +378,13 @@ class WorkerRuntime:
                 for outcome in self.ctx.result.outcomes[before:]:
                     self.ops.append([OP_OUTCOME,
                                      outcome_to_json(outcome)])
+                if self.tracer.enabled:
+                    self._causal(
+                        OP_EMIT, ref=f"{ref[0]}:{ref[1]}",
+                        epoch=self._epoch_idx,
+                        windows=",".join(
+                            str(o.index) for o in
+                            self.ctx.result.outcomes[before:]))
                 batches.append({
                     "ref": ref, "ops": self.ops,
                     "c": counters_snapshot(
@@ -401,21 +443,24 @@ def serve_forever(sock: socket.socket, rt: WorkerRuntime) -> None:
             os._exit(1)
         try:
             if kind == framing.EPOCH:
-                batches, eblob = rt.dispatch_epoch(header, blob)
-                reply = (framing.EPOCH_OPS, {"batches": batches}, eblob)
+                batches, rblob = rt.dispatch_epoch(header, blob)
+                rkind: int = framing.EPOCH_OPS
+                rheader: dict[str, Any] = {"batches": batches}
             else:
-                ops, oblob = rt.dispatch(kind, header, blob)
-                reply = (framing.OPS,
-                         {"ops": ops,
-                          "c": counters_snapshot(
-                              rt.ctx.result, rt.node.metrics.busy_s)},
-                         oblob)
+                ops, rblob = rt.dispatch(kind, header, blob)
+                rkind = framing.OPS
+                rheader = {"ops": ops,
+                           "c": counters_snapshot(
+                               rt.ctx.result, rt.node.metrics.busy_s)}
+            tag = rt.reply_frame_tag(rkind)
+            if tag is not None:
+                rheader["f"] = tag
         except Exception as exc:  # surface worker bugs to the harness
             framing.send_frame(sock, framing.ERROR, {
                 "node": rt.node_name, "error": f"{type(exc).__name__}: "
                 f"{exc}"})
             raise
-        framing.send_frame(sock, *reply)
+        framing.send_frame(sock, rkind, rheader, rblob)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,0 +1,141 @@
+"""The epoch interleaving model checker and the ``repro check`` CLI.
+
+Covers the three tentpole claims: synthetic merge scenarios exercise
+the real :class:`~repro.serve.merge.EpochMerge` under every arrival
+permutation; the scripted DFS exhaustively verifies that epoch-mode
+serve merges to kernel-canonical order for real schemes at small
+scope; and the deliberately seeded ``drop-phase`` merge bug is caught
+— the checker's own regression canary.
+"""
+
+import pytest
+
+import repro.baselines  # noqa: F401
+import repro.core  # noqa: F401
+from repro.analysis.check import main, small_config
+from repro.analysis.explore import (ModelCoordinator, Violation,
+                                    _Schedule, check_applied_order,
+                                    explore_config,
+                                    synthetic_merge_violations)
+from repro.analysis.determinism import Fingerprint
+from repro.core.runner import run_scheme
+from repro.serve import merge
+
+
+@pytest.fixture
+def seed_bug():
+    """Activate the drop-phase merge bug for one test."""
+    previous = merge.SEED_BUG
+    merge.SEED_BUG = "drop-phase"
+    try:
+        yield
+    finally:
+        merge.SEED_BUG = previous
+
+
+class TestSyntheticScenarios:
+    def test_clean_merge_has_no_violations(self):
+        assert synthetic_merge_violations() == []
+
+    def test_drop_phase_bug_is_caught(self):
+        violations = synthetic_merge_violations("drop-phase")
+        assert violations
+        assert any("phase" in v for v in violations)
+
+
+class TestAppliedOrder:
+    def test_sorted_log_passes(self):
+        log = [("a", (0.1, 0, ("a",), 0, (0,))),
+               ("b", (0.1, 1, ("b",), 0, (1,))),
+               ("a", (0.2, 0, ("a",), 1, (0, 0)))]
+        assert check_applied_order(log) is None
+
+    def test_inversion_is_flagged(self):
+        log = [("a", (0.2, 0, ("a",), 0, (0,))),
+               ("b", (0.1, 0, ("b",), 0, (1,)))]
+        assert check_applied_order(log) is not None
+
+    def test_duplicate_key_is_flagged(self):
+        key = (0.1, 0, ("a",), 0, (0,))
+        assert check_applied_order([("a", key), ("b", key)]) \
+            is not None
+
+
+class TestModelCoordinator:
+    def test_model_run_matches_simulator_oracle(self):
+        config = small_config("deco_sync", 2)
+        result, _ = run_scheme(config, None)
+        oracle = Fingerprint.of(result)
+        coord = ModelCoordinator(config)
+        coord.run_model(_Schedule(()))
+        from repro.serve.harness import _merge_results
+        assert Fingerprint.of(_merge_results(coord)) == oracle
+        assert check_applied_order(coord.applied_log) is None
+
+
+class TestExplore:
+    def test_small_scope_is_clean(self):
+        config = small_config("deco_sync", 2)
+        violations, stats = explore_config(config, epochs=2,
+                                           budget=60)
+        assert violations == []
+        assert stats["runs"] > 1, "DFS must explore real siblings"
+
+    def test_budget_truncates(self):
+        config = small_config("deco_sync", 2)
+        _, stats = explore_config(config, epochs=2, budget=2)
+        assert stats["runs"] <= 2
+        assert stats["budget_hit"]
+
+    def test_seeded_bug_is_caught(self, seed_bug):
+        config = small_config("deco_sync", 2)
+        violations, _ = explore_config(config, epochs=2, budget=60)
+        assert violations
+        assert all(isinstance(v, Violation) for v in violations)
+
+
+class TestCli:
+    def test_explore_small_scope_exits_zero(self, capsys):
+        rc = main(["--explore", "--schemes", "deco_sync", "--nodes",
+                   "2", "--epochs", "2", "--budget", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "synthetic merge scenarios: ok" in out
+        assert "deco_sync n=2" in out
+
+    def test_seed_bug_canary(self, capsys):
+        rc = main(["--explore", "--schemes", "deco_sync", "--nodes",
+                   "2", "--epochs", "2", "--budget", "40",
+                   "--seed-bug", "drop-phase",
+                   "--expect-violations"])
+        assert rc == 0
+        assert "canary ok" in capsys.readouterr().out
+        # The fixture-free CLI path must restore the clean runtime.
+        assert merge.SEED_BUG is None
+
+    def test_expect_violations_without_findings_fails(self, capsys):
+        rc = main(["--explore", "--schemes", "deco_sync", "--nodes",
+                   "2", "--epochs", "1", "--budget", "10",
+                   "--expect-violations"])
+        assert rc == 1
+
+    def test_no_mode_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_scheme_is_usage_error(self, capsys):
+        assert main(["--explore", "--schemes", "nope"]) == 2
+
+    def test_unknown_seed_bug_is_usage_error(self, capsys):
+        assert main(["--explore", "--seed-bug", "nope"]) == 2
+
+    def test_bad_nodes_is_usage_error(self, capsys):
+        assert main(["--explore", "--nodes", "two"]) == 2
+
+    def test_trace_mode(self, tmp_path, capsys):
+        from repro.analysis.explore import model_trace
+        from repro.obs.exporters import write_jsonl
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, model_trace(small_config("deco_sync", 2)))
+        assert main(["--trace", str(path)]) == 0
+        assert "happens-before analysis: ok" in \
+            capsys.readouterr().out

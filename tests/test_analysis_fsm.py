@@ -81,6 +81,37 @@ class TestConformance:
         assert check_fsm("deco_sync", tracer) == []
 
 
+class TestEpochServeConformance:
+    """Epoch-mode serve runs obey the same per-scheme protocol FSMs.
+
+    The concurrent epoch runtime reorders *execution*, never protocol
+    *content*: the merged trace of an epoch run must drive each FSM
+    exactly like the lockstep/sim traces above.  Model traces (the
+    in-process epoch runtime from :mod:`repro.analysis.explore`) cover
+    every scheme cheaply; one real TCP serve run anchors the claim on
+    the wire path.
+    """
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEME_FSMS))
+    def test_epoch_model_trace_conforms(self, scheme):
+        from repro.analysis.check import small_config
+        from repro.analysis.explore import model_trace
+        tracer = model_trace(small_config(scheme, 3))
+        assert tracer.events_of(MSG_SEND), "run must actually trace"
+        assert check_fsm(scheme, tracer) == []
+
+    def test_epoch_tcp_serve_trace_conforms(self):
+        from repro.obs.tracer import RunTracer
+        from repro.serve.harness import run_scheme_served
+        tracer = RunTracer()
+        run_scheme_served(
+            RunConfig(scheme="deco_sync", n_nodes=2, window_size=400,
+                      n_windows=3, rate_per_node=20_000.0, seed=7),
+            tracer=tracer, mode="epoch")
+        assert tracer.events_of(MSG_SEND)
+        assert check_fsm("deco_sync", tracer) == []
+
+
 class TestViolations:
     def test_wrong_message_class_flagged(self):
         # Central never sends window assignments.

@@ -33,7 +33,8 @@ class TestFramework:
         rule_codes = [r.code for r in all_rules()]
         assert rule_codes == sorted(rule_codes)
         assert rule_codes == ["DL001", "DL002", "DL003", "DL004",
-                              "DL005", "DL006", "DL007"]
+                              "DL005", "DL006", "DL007", "DL008",
+                              "DL009", "DL010"]
 
     def test_every_rule_has_docs(self):
         for rule in all_rules():
@@ -44,6 +45,18 @@ class TestFramework:
     def test_select_unknown_code_raises(self):
         with pytest.raises(ConfigurationError, match="DL999"):
             select_rules(["DL999"])
+
+    def test_select_degenerate_selector_raises(self):
+        # "" / "," / whitespace selectors must not silently select
+        # zero rules and report a clean run.
+        for degenerate in ([""], [" "], ["", " "]):
+            with pytest.raises(ConfigurationError,
+                               match="no rule codes"):
+                select_rules(degenerate)
+
+    def test_select_mixed_good_and_empty_still_selects(self):
+        rules = select_rules(["DL001", ""])
+        assert [r.code for r in rules] == ["DL001"]
 
     def test_syntax_error_reports_dl000(self):
         findings = run_lint([str(REPO / "tests" / "__init__.py")])
@@ -389,6 +402,173 @@ class TestDL007SimImportBoundary:
         src = ("from repro.sim.kernel import Simulator"
                "  # decolint: disable=DL007\n")
         assert lint_source(src, CORE_PATH) == []
+
+
+class TestDL008ViewMutation:
+    def test_subscript_write_through_view_fires(self):
+        src = ("def f(buf):\n"
+               "    v = buf.get_range(0, 10)\n"
+               "    v[0] = 1.0\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL008"]
+
+    def test_attribute_chain_propagates_taint(self):
+        src = ("def f(batch):\n"
+               "    view = batch._view(batch.ids, batch.values, 0, 4)\n"
+               "    vals = view.values\n"
+               "    vals[2] = 0.0\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL008"]
+
+    def test_augmented_assign_fires(self):
+        src = ("def f(buf):\n"
+               "    v = buf.lift_range(0, 5)\n"
+               "    v += 1.0\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL008"]
+
+    def test_mutating_method_fires(self):
+        src = ("def f(buf):\n"
+               "    v = buf.get_range(0, 10)\n"
+               "    v.sort()\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL008"]
+
+    def test_out_kwarg_fires(self):
+        src = ("import numpy as np\n"
+               "def f(buf):\n"
+               "    v = buf.get_range(0, 10)\n"
+               "    np.add(v, 1.0, out=v)\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL008"]
+
+    def test_tuple_assignment_taints_elementwise(self):
+        src = ("def f(buf, other):\n"
+               "    a, b = buf.lift_range(0, 5), other\n"
+               "    a.fill(0)\n"
+               "    b.fill(0)\n")
+        findings = lint_source(src, CORE_PATH)
+        assert codes(findings) == ["DL008"]
+        assert findings[0].line == 3
+
+    def test_copy_breaks_taint(self):
+        src = ("def f(buf):\n"
+               "    v = buf.get_range(0, 10)\n"
+               "    c = v.copy()\n"
+               "    c[0] = 1.0\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_read_only_use_passes(self):
+        src = ("def f(buf):\n"
+               "    v = buf.get_range(0, 10)\n"
+               "    return v.sum(), v[3]\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_fires_in_scripts_too(self):
+        src = ("def f(buf):\n"
+               "    v = buf.get_range(0, 10)\n"
+               "    v[0] = 1.0\n")
+        assert codes(lint_source(src, SCRIPT_PATH)) == ["DL008"]
+
+    def test_unrelated_mutation_passes(self):
+        src = ("def f(xs):\n"
+               "    xs.sort()\n"
+               "    xs[0] = 1\n")
+        assert lint_source(src, CORE_PATH) == []
+
+
+class TestDL009EnvReads:
+    SERVE_PATH = "src/repro/serve/coordinator.py"
+
+    def test_environ_get_fires(self):
+        src = ("import os\n"
+               "flag = os.environ.get('REPRO_WIRE_CODEC')\n")
+        assert codes(lint_source(src, self.SERVE_PATH)) == ["DL009"]
+
+    def test_getenv_through_constant_fires(self):
+        src = ("import os\n"
+               "FLAG = 'REPRO_FOO'\n"
+               "def f():\n"
+               "    return os.getenv(FLAG)\n")
+        assert codes(lint_source(src, self.SERVE_PATH)) == ["DL009"]
+
+    def test_subscript_read_fires(self):
+        src = ("import os\n"
+               "jobs = os.environ['REPRO_JOBS']\n")
+        assert codes(lint_source(src, self.SERVE_PATH)) == ["DL009"]
+
+    def test_membership_probe_fires(self):
+        src = ("import os\n"
+               "have = 'REPRO_JOBS' in os.environ\n")
+        assert codes(lint_source(src, self.SERVE_PATH)) == ["DL009"]
+
+    def test_store_passes(self):
+        src = ("import os\n"
+               "os.environ['REPRO_JOBS'] = '2'\n")
+        assert lint_source(src, self.SERVE_PATH) == []
+
+    def test_non_repro_key_passes(self):
+        src = ("import os\n"
+               "path = os.environ.get('PATH')\n")
+        assert lint_source(src, self.SERVE_PATH) == []
+
+    def test_bootstrap_modules_exempt(self):
+        src = ("import os\n"
+               "flag = os.environ.get('REPRO_WIRE_CODEC')\n")
+        assert lint_source(src, "src/repro/wire/codec.py") == []
+        assert lint_source(src, "src/repro/sweep.py") == []
+
+    def test_out_of_package_scripts_exempt(self):
+        src = ("import os\n"
+               "quick = os.environ.get('REPRO_BENCH_QUICK')\n")
+        assert lint_source(src, SCRIPT_PATH) == []
+
+
+class TestDL010BlockingInMerge:
+    COORD_PATH = "src/repro/serve/coordinator.py"
+    MERGE_PATH = "src/repro/serve/merge.py"
+
+    def test_sleep_in_merge_method_fires(self):
+        src = ("import time\n"
+               "class C:\n"
+               "    def _merge_epoch(self, queues):\n"
+               "        time.sleep(0.1)\n")
+        assert codes(lint_source(src, self.COORD_PATH)) == ["DL010"]
+
+    def test_framing_transfer_fires(self):
+        src = ("from repro.serve import framing\n"
+               "class C:\n"
+               "    def _apply_ops(self, sock):\n"
+               "        framing.send_frame(sock, 1, {}, b'')\n")
+        assert codes(lint_source(src, self.COORD_PATH)) == ["DL010"]
+
+    def test_await_fires(self):
+        src = ("class C:\n"
+               "    async def _merge_epoch(self, fut):\n"
+               "        await fut\n")
+        assert codes(lint_source(src, self.COORD_PATH)) == ["DL010"]
+
+    def test_non_merge_methods_pass_in_coordinator(self):
+        src = ("import time\n"
+               "class C:\n"
+               "    def _collect_epoch(self):\n"
+               "        time.sleep(0.1)\n")
+        assert lint_source(src, self.COORD_PATH) == []
+
+    def test_whole_merge_module_is_a_merge_section(self):
+        src = ("import time\n"
+               "def pop_next(queues):\n"
+               "    time.sleep(0.1)\n")
+        assert codes(lint_source(src, self.MERGE_PATH)) == ["DL010"]
+
+    def test_pure_merge_code_passes(self):
+        src = ("def _merge_epoch(queues):\n"
+               "    return min(queues, key=lambda q: q[0])\n")
+        assert lint_source(src, self.COORD_PATH) == []
+
+    def test_other_modules_out_of_scope(self):
+        # time.sleep still trips DL001 in sim scope / scripts; DL010
+        # itself must stay silent outside the serve merge path.
+        src = ("import time\n"
+               "def _merge_epoch():\n"
+               "    time.sleep(0.1)\n")
+        assert "DL010" not in codes(lint_source(src, SIM_PATH))
+        assert "DL010" not in codes(lint_source(src, SCRIPT_PATH))
 
 
 class TestShippedTreeIsClean:
