@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.aggregates import Sum
-from repro.api import compare
+from repro.api import compare, run
 from repro.metrics import format_si
 
 
@@ -51,6 +51,19 @@ def main():
                for a, b in zip(deco.result.results, reference,
                                strict=True))
     print("Verified: Deco_async's window results equal Central's.")
+
+    # Standing queries: any number of extra count-window queries ride
+    # along a run, served per stream from one shared slice store and
+    # partial tree (DESIGN.md Section 14).  A single query is just a
+    # one-element tuple on the same path.
+    summary = run("deco_sync", n_nodes=2, window_size=2_000,
+                  n_windows=6, rate_per_node=20_000,
+                  queries=("sum:1000", "avg:700:350"))
+    print("\nStanding queries (2 per node, shared slice store):")
+    for qid, acct in sorted(summary.queries.items()):
+        print(f"  {qid}: {acct['stream']} {acct['label']:<12} "
+              f"windows={acct['windows']:<4} "
+              f"fingerprint={acct['fingerprint'][:12]}")
 
 
 if __name__ == "__main__":

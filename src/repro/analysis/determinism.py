@@ -54,6 +54,10 @@ class Fingerprint:
     correction_steps: int
     prediction_errors: int
     recomputed_events: int
+    #: Standing-query result digests, as sorted (qid, fingerprint)
+    #: pairs: every query's full result stream must be salt-invariant
+    #: too (empty for runs without queries).
+    queries: tuple[tuple[str, str], ...] = ()
 
     @classmethod
     def of(cls, result: RunResult) -> "Fingerprint":
@@ -62,6 +66,9 @@ class Fingerprint:
              tuple(sorted(o.spans.items())), o.corrected,
              o.up_flows, o.down_flows)
             for o in sorted(result.outcomes, key=lambda o: o.index))
+        queries = tuple(sorted(
+            (qid, acct["fingerprint"])
+            for qid, acct in result.queries.items()))
         return cls(windows=windows, bytes_up=result.bytes_up,
                    bytes_down=result.bytes_down,
                    bytes_peer=result.bytes_peer,
@@ -69,7 +76,8 @@ class Fingerprint:
                    retransmissions=result.retransmissions,
                    correction_steps=result.correction_steps,
                    prediction_errors=result.prediction_errors,
-                   recomputed_events=result.recomputed_events)
+                   recomputed_events=result.recomputed_events,
+                   queries=queries)
 
     def diff(self, other: "Fingerprint") -> list[str]:
         """Human-readable field-level differences (empty if equal)."""
@@ -89,6 +97,13 @@ class Fingerprint:
                 if a != b:
                     out.append(f"window {a[0]}: {a} != {b}")
                     break
+        if self.queries != other.queries:
+            mine, theirs = dict(self.queries), dict(other.queries)
+            for qid in sorted(set(mine) | set(theirs)):
+                if mine.get(qid) != theirs.get(qid):
+                    out.append(
+                        f"query {qid}: {mine.get(qid)} != "
+                        f"{theirs.get(qid)}")
         return out
 
 

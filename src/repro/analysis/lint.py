@@ -264,7 +264,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="deco-lint: repo-specific determinism and "
-                    "correctness rules (DL001-DL010)")
+                    "correctness rules (DL001-DL011)")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories (default: src/repro)")
     parser.add_argument("--select", default=None,

@@ -1,4 +1,4 @@
-"""The deco-lint rule set (DL001-DL010).
+"""The deco-lint rule set (DL001-DL011).
 
 Each rule encodes one clause of the simulator's determinism contract
 (see DESIGN.md section 8) or of the serve runtime's concurrency
@@ -17,6 +17,7 @@ DL007  no direct repro.sim imports from the protocol core
 DL008  no in-place mutation of zero-copy batch/array views
 DL009  no ``REPRO_*`` environment reads outside config/bootstrap
 DL010  no blocking calls inside coordinator merge sections
+DL011  no per-query lift loops in scheme hot paths
 """
 
 from __future__ import annotations
@@ -864,8 +865,9 @@ class NoEnvReadOutsideBootstrap(LintRule):
     #: The sanctioned read sites: each owns one flag, reads it at
     #: construction/bootstrap time, and documents it.
     EXEMPT = ("repro/wire/codec", "repro/core/agg_index",
-              "repro/core/workload", "repro/sweep",
-              "repro/serve/worker", "repro/serve/bench")
+              "repro/core/workload", "repro/core/multiquery",
+              "repro/sweep", "repro/serve/worker",
+              "repro/serve/bench")
 
     def applies_to(self, ctx: FileContext) -> bool:
         # Out-of-package scripts/benchmarks read REPRO_* on purpose
@@ -1027,6 +1029,81 @@ class NoBlockingInMergeSections(LintRule):
                     f"section; collect all replies before merging")
 
 
+class NoPerQueryLiftLoops(LintRule):
+    """DL011: no per-query lift loops in scheme hot paths.
+
+    The multi-query engine (:mod:`repro.core.multiquery`) exists so
+    that N standing queries over one stream share a single slice store
+    and one partial tree: every window of every query is answered from
+    the shared ``lift_range`` decomposition, and each slice partial is
+    computed once.  A ``for`` loop over queries (or per-query
+    pipelines) whose body calls ``.lift_range(...)`` or
+    ``.scalar_lift(...)`` re-aggregates the same data once per query —
+    the O(queries x events) shape the shared substrate replaces.
+    Route per-query windows through the engine's shared group instead;
+    the only sanctioned per-query loop is the engine's own unshared
+    fallback (``REPRO_QUERY_SHARING=0``), which carries an explicit
+    suppression as the A/B oracle.
+
+    Heuristic: a ``for`` statement is per-query when any name in its
+    target or iterable contains ``quer`` (``query``, ``queries``,
+    ``_query_pipes``, ...); any ``lift_range``/``scalar_lift`` method
+    call anywhere in its body is flagged at the loop header.
+    """
+
+    code = "DL011"
+    name = "no-per-query-lift-loops"
+    summary = ("per-query lift_range/scalar_lift loops re-aggregate "
+               "shared data once per query; use the shared multi-"
+               "query engine")
+    scope = ("repro/core", "repro/baselines")
+
+    #: Method names that lift/aggregate a raw range.
+    LIFT_CALLS = frozenset({"lift_range", "scalar_lift"})
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not ctx.in_package():
+            return False
+        pkg = ctx.package_path()
+        return any(pkg.startswith(prefix) for prefix in self.scope)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            if not (self._query_ish(node.target)
+                    or self._query_ish(node.iter)):
+                continue
+            call = self._lift_call_in(node.body)
+            if call is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"per-query loop calls `.{call}(...)` in its "
+                    f"body — one lift per query per window; serve "
+                    f"all queries from the shared slice store / "
+                    f"partial tree instead")
+
+    def _query_ish(self, node: ast.AST) -> bool:
+        """Whether any name in the expression smells like a query."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and "quer" in sub.id.lower():
+                return True
+            if (isinstance(sub, ast.Attribute)
+                    and "quer" in sub.attr.lower()):
+                return True
+        return False
+
+    def _lift_call_in(self, body: list[ast.stmt]) -> str | None:
+        """First lift-method call name anywhere in the loop body."""
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in self.LIFT_CALLS):
+                    return sub.func.attr
+        return None
+
+
 #: Registered rules, in code order.
 DEFAULT_RULES: tuple[type, ...] = (
     NoWallClockOrUnseededRandom,
@@ -1039,4 +1116,5 @@ DEFAULT_RULES: tuple[type, ...] = (
     NoViewMutation,
     NoEnvReadOutsideBootstrap,
     NoBlockingInMergeSections,
+    NoPerQueryLiftLoops,
 )

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.core.records import RunResult
 from repro.core.runner import RunConfig, run_scheme
@@ -69,6 +70,11 @@ class RunSummary:
     #: The run's :class:`~repro.obs.tracer.RunTracer` when tracing was
     #: requested (``trace=True``); ``None`` otherwise.
     trace: RunTracer | None = field(default=None, repr=False)
+    #: Per-standing-query accounts (qid -> JSON account with result
+    #: fingerprint and cost counters) when the run carried ``queries``;
+    #: empty otherwise.  See :mod:`repro.core.multiquery`.
+    queries: dict[str, dict[str, Any]] = field(default_factory=dict,
+                                               repr=False)
 
     def __str__(self) -> str:
         parts = [f"{self.scheme}"]
@@ -99,7 +105,8 @@ def _summarize(config: RunConfig, mode: str, result: RunResult,
         scheme=config.scheme, mode=mode, result=result, workload=workload,
         total_bytes=result.total_bytes,
         correctness=_correctness(result, workload),
-        correction_steps=result.correction_steps)
+        correction_steps=result.correction_steps,
+        queries=dict(result.queries))
     if mode == "throughput":
         summary.throughput = sustainable_throughput(result)
     else:
@@ -133,7 +140,13 @@ def run(scheme: str, *, n_nodes: int = 2, window_size: int = 10_000,
             unchanged.  Also accepts an existing
             :class:`~repro.obs.tracer.RunTracer` to collect into.
         **config_kwargs: Extra :class:`RunConfig` fields (profiles,
-            bandwidth, delta_m, ...).
+            bandwidth, delta_m, ...).  Notably ``queries``: a tuple of
+            standing-query specs (``"agg:length[:step]"``, e.g.
+            ``("sum:1000", "avg:700:350")``) admitted on every local
+            stream and served by the shared multi-query engine; the
+            per-query accounts land on :attr:`RunSummary.queries`.  A
+            single query is just the one-element tuple of the same
+            path.
     """
     config = _make_config(
         scheme, mode=mode, seed=seed, n_nodes=n_nodes,

@@ -14,7 +14,7 @@ Subcommands:
 * ``bench-serve`` — the serve load benchmark; writes
   ``BENCH_serve.json``.
 * ``lint`` — run deco-lint, the repo-specific static-analysis pass
-  (rules DL001-DL010; see :mod:`repro.analysis`).
+  (rules DL001-DL011; see :mod:`repro.analysis`).
 * ``check`` — the concurrency verifier: small-scope interleaving model
   checking of epoch-mode serve and happens-before analysis of captured
   serve traces (see :mod:`repro.analysis.check`).
@@ -113,6 +113,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--delta-m", type=int, default=4)
         p.add_argument("--min-delta", type=int, default=4)
+        p.add_argument("--queries", action="append", default=None,
+                       metavar="AGG:LEN[:STEP]",
+                       help="admit a standing query on every local "
+                            "stream (repeatable; e.g. --queries "
+                            "sum:1000 --queries avg:700:350).  All "
+                            "queries share one slice store + partial "
+                            "tree per stream (REPRO_QUERY_SHARING=0 "
+                            "falls back to per-query pipelines with "
+                            "bit-identical results); one --queries "
+                            "flag is the single-query degenerate case "
+                            "of the same path")
         p.add_argument("--jobs", type=int, default=None,
                        help="worker processes for sweeps (default: "
                             "$REPRO_JOBS, then CPU count; 1 = serial)")
@@ -189,7 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "the benchmark fails (CI perf gate)")
 
     lint_p = sub.add_parser(
-        "lint", help="run deco-lint (rules DL001-DL010)")
+        "lint", help="run deco-lint (rules DL001-DL011)")
     lint_p.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories (default: src/repro)")
     lint_p.add_argument("--select", default=None,
@@ -219,7 +230,26 @@ def _run_kwargs(args) -> dict:
                 n_windows=args.windows, rate_per_node=args.rate,
                 rate_change=args.rate_change, aggregate=args.aggregate,
                 mode=args.load, seed=args.seed, delta_m=args.delta_m,
-                min_delta=args.min_delta)
+                min_delta=args.min_delta,
+                queries=tuple(args.queries or ()))
+
+
+def _print_queries(queries: dict) -> None:
+    """Per-standing-query account table (``--queries`` runs)."""
+    if not queries:
+        return
+    rows = []
+    for qid, acct in queries.items():
+        shared = (f"dedup->{acct['deduped_into']}"
+                  if acct.get("deduped_into") else "owner")
+        rows.append([qid, acct["stream"], acct["label"], shared,
+                     str(acct["windows"]), str(acct["combines"]),
+                     str(acct["edge_events"]),
+                     acct["fingerprint"][:12]])
+    print()
+    print(format_table(
+        ["query", "stream", "spec", "sharing", "windows", "combines",
+         "edge events", "fingerprint"], rows))
 
 
 def _summary_row(name: str, summary) -> list[str]:
@@ -280,6 +310,7 @@ def main(argv: list[str] | None = None) -> int:
                       **_run_kwargs(args))
         print(format_table(headers,
                            [_summary_row(args.scheme, summary)]))
+        _print_queries(summary.queries)
         if args.trace:
             from repro.obs import write_chrome_trace
             path = write_chrome_trace(args.trace, summary.trace)
@@ -341,6 +372,7 @@ def main(argv: list[str] | None = None) -> int:
               f"{pct['p50_s'] * 1e3:.3f}",
               f"{pct['p95_s'] * 1e3:.3f}",
               f"{pct['p99_s'] * 1e3:.3f}"]]))
+        _print_queries(report.result.queries)
         if args.verify:
             from repro.serve.bench import verify_against_simulator
             verify_against_simulator(config, report.result)

@@ -34,7 +34,7 @@ buffer.  :class:`~repro.core.buffers.PositionBuffer` gates on
 from __future__ import annotations
 
 import os
-from collections.abc import Callable
+from collections.abc import Callable, MutableMapping
 from typing import Any
 
 from repro.aggregates.base import AggregateFunction
@@ -58,6 +58,31 @@ def index_enabled_default() -> bool:
     return raw not in ("0", "false", "no", "off")
 
 
+def decomposition_width(start: int, end: int,
+                        chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
+    """Number of parts :meth:`RangeAggregateIndex.lift_range` folds for
+    ``[start, end)`` — the per-query combine cost of one window.
+
+    Pure arithmetic mirror of the decomposition loop (head remainder +
+    power-of-two interior cover + tail remainder); used by the
+    multi-query engine's cost accounting without touching any partials.
+    """
+    if end <= start:
+        return 0
+    size = chunk_size
+    head_end = min(end, -(-start // size) * size)
+    tail_start = max(head_end, (end // size) * size)
+    n = int(start < head_end) + int(tail_start < end)
+    c0, c1 = head_end // size, tail_start // size
+    while c0 < c1:
+        block = c0 & -c0 if c0 else 1 << ((c1 - c0).bit_length() - 1)
+        while c0 + block > c1:
+            block >>= 1
+        n += 1
+        c0 += block
+    return n
+
+
 class RangeAggregateIndex:
     """Power-of-two tree of combined partials over aligned chunks.
 
@@ -72,7 +97,9 @@ class RangeAggregateIndex:
                  fetch: Callable[[int, int], EventBatch],
                  *, base: int = 0,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
-                 caching: bool = True) -> None:
+                 caching: bool = True,
+                 edge_cache: MutableMapping[tuple[int, int], Any]
+                 | None = None) -> None:
         if chunk_size <= 0 or chunk_size & (chunk_size - 1):
             raise ConfigurationError(
                 f"chunk_size must be a positive power of two, got "
@@ -81,6 +108,13 @@ class RangeAggregateIndex:
         self.chunk_size = chunk_size
         self.caching = caching
         self._fetch = fetch
+        #: Optional memo for sub-chunk remainder lifts, keyed
+        #: ``(start, end)``.  A remainder lift is a pure function of its
+        #: span, so the memo changes host wall-clock only — when many
+        #: standing queries share one stream, their window edges repeat
+        #: and the multi-query slice store passes a shared mapping here
+        #: so each edge slice is lifted once.
+        self._edge_cache = edge_cache if caching else None
         #: Per-level node partials; ``_levels[k][i]`` covers chunk run
         #: ``[i * 2**k, (i + 1) * 2**k)``.
         self._levels: list[dict[int, Any]] = [{}]
@@ -94,6 +128,8 @@ class RangeAggregateIndex:
         self.nodes_evicted = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.edge_hits = 0
+        self.edge_misses = 0
 
     # -- maintenance -------------------------------------------------------
 
@@ -191,7 +227,7 @@ class RangeAggregateIndex:
         tail_start = max(head_end, (end // size) * size)
         parts: list[Any] = []
         if start < head_end:
-            parts.append(fn.lift(self._fetch(start, head_end)))
+            parts.append(self._edge_lift(start, head_end))
         c0, c1 = head_end // size, tail_start // size
         while c0 < c1:
             # Largest aligned block starting at c0 that fits in [c0, c1).
@@ -202,8 +238,24 @@ class RangeAggregateIndex:
             parts.append(self._node(level, c0 >> level))
             c0 += block
         if tail_start < end:
-            parts.append(fn.lift(self._fetch(tail_start, end)))
+            parts.append(self._edge_lift(tail_start, end))
         return fn.combine_many(parts)
+
+    def _edge_lift(self, start: int, end: int) -> Any:
+        """Sub-chunk remainder lift, memoized when an edge cache is
+        attached (identical bits either way — the lift is pure)."""
+        cache = self._edge_cache
+        if cache is None:
+            return self.fn.lift(self._fetch(start, end))
+        key = (start, end)
+        partial = cache.get(key)
+        if partial is None:
+            partial = self.fn.lift(self._fetch(start, end))
+            cache[key] = partial
+            self.edge_misses += 1
+        else:
+            self.edge_hits += 1
+        return partial
 
     def _node(self, level: int, idx: int) -> Any:
         """One node's partial: cached, or recomputed through the same

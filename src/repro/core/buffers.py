@@ -18,6 +18,7 @@ and the bit-identity contract of the ``REPRO_AGG_INDEX`` A/B switch.
 from __future__ import annotations
 
 from bisect import bisect_right
+from collections.abc import MutableMapping
 from typing import Any
 
 from repro.aggregates.base import AggregateFunction
@@ -46,7 +47,9 @@ class PositionBuffer:
     def __init__(self, base: int = 0,
                  fn: AggregateFunction | None = None, *,
                  use_index: bool | None = None,
-                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 edge_cache: MutableMapping[tuple[int, int], Any]
+                 | None = None) -> None:
         self._base = base  # absolute position of the first retained event
         self._batches: list[EventBatch] = []
         #: Absolute start position of each stored batch (bisect key).
@@ -62,7 +65,7 @@ class PositionBuffer:
                        else use_index)
             self._index = RangeAggregateIndex(
                 fn, self.get_range, base=base, chunk_size=chunk_size,
-                caching=caching)
+                caching=caching, edge_cache=edge_cache)
 
     # -- state --------------------------------------------------------------
 

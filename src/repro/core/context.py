@@ -3,12 +3,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.query import Query
 from repro.core.records import RunResult
 from repro.core.workload import Workload
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.serialization import WireFormat
+
+if TYPE_CHECKING:
+    from repro.aggregates.base import AggregateFunction
+    from repro.core.buffers import PositionBuffer
+    from repro.core.multiquery import MultiQueryEngine
 
 
 @dataclass
@@ -36,6 +42,26 @@ class SchemeContext:
     #: this in lock-step with ``sim.tracer``; behaviours guard every
     #: hook on ``tracer.enabled`` so the default costs nothing.
     tracer: object = NULL_TRACER
+    #: Standing-query engine (:mod:`repro.core.multiquery`), attached
+    #: by :func:`~repro.core.runner.make_context` when the config
+    #: registers queries.  ``None`` for plain single-result runs — the
+    #: engine never alters scheme behaviour, buffers, or backpressure;
+    #: it observes each local's ingest stream.
+    engine: MultiQueryEngine | None = None
+
+    def new_buffer(self, fn: AggregateFunction | None = None,
+                   base: int = 0) -> PositionBuffer:
+        """Construct a scheme-owned :class:`PositionBuffer`.
+
+        Root and local behaviours build their raw-event buffers through
+        this one point so the whole run shares one buffer policy (index
+        switch, chunk size).  Scheme buffers are never shared with the
+        multi-query engine's slice store — sharing them would couple
+        standing queries into ``retained``-driven backpressure and
+        change scheme results.
+        """
+        from repro.core.buffers import PositionBuffer
+        return PositionBuffer(base, fn)
 
     @property
     def n_nodes(self) -> int:

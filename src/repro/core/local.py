@@ -13,11 +13,10 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import Any
 
-from repro.core.buffers import PositionBuffer
 from repro.core.context import SchemeContext
 from repro.core.protocol import Message, SourceBatch
 from repro.runtime.node import RuntimeNode
-from repro.runtime.api import ROOT_NAME
+from repro.runtime.api import ROOT_NAME, local_name
 from repro.streams.event import TICKS_PER_SECOND
 from repro.streams.watermark import WatermarkTracker
 
@@ -48,9 +47,14 @@ class LocalBehaviorBase:
         self.ctx = ctx
         self.query = ctx.query
         self.fn = ctx.query.aggregate
+        #: This node's stream name — the key standing queries are
+        #: admitted under in the multi-query engine.
+        self.stream = local_name(index)
         #: The aggregate-bound event buffer: range lifts go through its
         #: range-aggregation index (see :mod:`repro.core.agg_index`).
-        self.buffer = PositionBuffer(fn=self.fn)
+        #: Constructed through the context so every behaviour of a run
+        #: shares one buffer policy.
+        self.buffer = ctx.new_buffer(fn=self.fn)
         self.watermark = WatermarkTracker()
         # Rate measurement state: events and first/last timestamps since
         # the previous rate report (Section 4.3.3).
@@ -120,6 +124,13 @@ class LocalBehaviorBase:
         self._last_event_ts = events.last_ts
         self._rate_mark_count += len(events)
         self.buffer.append(events)
+        engine = self.ctx.engine
+        if engine is not None:
+            # Standing queries observe the same ingest order the scheme
+            # sees; the engine's storage is fully separate from
+            # self.buffer, so backpressure and scheme results are
+            # untouched by however many queries are registered.
+            engine.append(self.stream, events)
         node.account_events(len(events))
         self.on_events(node)
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass
@@ -61,6 +62,10 @@ class RunResult:
     #: Timeout-driven message retransmissions (failure model,
     #: Section 4.3.4).
     retransmissions: int = 0
+    #: Per-standing-query accounts keyed by query id (JSON-safe dicts
+    #: from :meth:`repro.core.multiquery.QueryAccount.to_json`); empty
+    #: when the run registered no queries.
+    queries: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     @property
     def total_bytes(self) -> int:

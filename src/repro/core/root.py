@@ -97,8 +97,12 @@ class RootBehaviorBase:
         Binding the run's aggregate lets root-side window aggregation
         (bootstrap and centralized paths) reuse the buffers'
         range-aggregation index instead of re-lifting raw ranges.
+        Buffers come from the context's single construction point so
+        the whole run shares one buffer policy (never the multi-query
+        engine's slice stores — those track local ingest, not the
+        root's view).
         """
-        return [PositionBuffer(fn=self.fn)
+        return [self.ctx.new_buffer(fn=self.fn)
                 for _ in range(self.n_nodes)]
 
     def ingest_positioned_raw(self, node: RuntimeNode, msg: RawEvents,

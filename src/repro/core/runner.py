@@ -150,6 +150,16 @@ class RunConfig:
     #: permuted salts and fails on any divergence.  Not part of
     #: :meth:`workload_key`: the workload is generated off-simulator.
     tiebreak_salt: int = 0
+    #: Standing queries admitted on every local stream at position 0,
+    #: as ``agg:length[:step]`` specs (see
+    #: :func:`repro.core.query.parse_query_spec`).  Evaluated by the
+    #: shared multi-query engine (:mod:`repro.core.multiquery`)
+    #: alongside — never instead of — the scheme's own global query;
+    #: per-query accounts land in :attr:`RunResult.queries`.  The
+    #: single-query case is just a one-element list.  Not part of
+    #: :meth:`workload_key`: standing queries observe the workload.
+    #: JSON transport turns the tuple into a list; consumers normalize.
+    queries: tuple[str, ...] = ()
 
     def workload_key(self) -> WorkloadSpec:
         """The generation-parameter tuple of this run's workload.
@@ -214,6 +224,19 @@ def make_context(config: RunConfig,
                         retransmit_timeout_s=config.retransmit_timeout_s,
                         tracer=tracer if tracer is not None
                         else NULL_TRACER)
+    if config.queries:
+        # Standing queries: one shared engine per run, every spec
+        # admitted on every local stream at position 0.  Each serve
+        # worker builds the same engine through here, so admission
+        # order — and therefore query ids — agree across runtimes.
+        from repro.core.multiquery import MultiQueryEngine
+        from repro.runtime.api import local_name
+        engine = MultiQueryEngine(tracer=ctx.tracer)
+        for i in range(workload.n_nodes):
+            stream = local_name(i)
+            for spec_str in tuple(config.queries):
+                engine.admit(stream, spec_str, at=0)
+        ctx.engine = engine
     return spec, ctx, tracer
 
 

@@ -108,6 +108,8 @@ def collect(topo: StarTopology, ctx: SchemeContext) -> RunResult:
     ingress = net.nic(ROOT_NAME, "ingress")
     result.root_ingress_bytes_per_s = (
         ingress.utilization_until_now * ingress.bandwidth)
+    if ctx.engine is not None:
+        result.queries = ctx.engine.accounts_json()
     return result
 
 

@@ -188,6 +188,11 @@ class Coordinator:
         #: epochs — the global applied order the checker asserts on.
         self.applied_log: list[tuple[str, MergeKey]] | None = None
         self.finals: dict[str, dict[str, Any]] = {}
+        #: Standing-query admissions applied right after START (each a
+        #: ``(stream, spec, at)`` tuple; ``at`` may be None for "now").
+        #: The harness fills this from its ``admissions`` argument.
+        self.admissions: list[tuple[str, str, int | None]] = []
+        self._next_qid = 0
         self.wall_seconds = 0.0
         self._wall_start = 0.0
         # Causal instrumentation (active only when tracing): the
@@ -353,6 +358,8 @@ class Coordinator:
                             {"now": 0.0})
         for name in self.node_names:
             await self._rpc(name, framing.START, {"now": 0.0})
+        for stream, spec, at in self.admissions:
+            await self.admit_query(stream, spec, at=at)
         if self.mode == "epoch":
             await self._epoch_loop()
         else:
@@ -371,6 +378,33 @@ class Coordinator:
                     f"expected FINAL from {name!r}, got kind {kind}")
             self.finals[name] = header
             writer.close()
+
+    # -- standing-query ops ------------------------------------------------
+
+    async def admit_query(self, stream: str, spec: str, *,
+                          at: int | None = None,
+                          qid: str | None = None) -> str:
+        """Broadcast a standing-query admission; returns its id.
+
+        Every worker registers the query (so registries agree); only
+        the stream's owner feeds it and ships its account in FINAL.
+        Config-admitted queries take ids ``q<N>`` on the workers, so
+        runtime admissions use a disjoint ``rq<N>`` namespace.
+        """
+        if qid is None:
+            qid = f"rq{self._next_qid}"
+            self._next_qid += 1
+        header = {"now": self.topo.sim.now, "qop": "admit",
+                  "stream": stream, "spec": spec, "qid": qid, "at": at}
+        for name in self.node_names:
+            await self._rpc(name, framing.QUERY, dict(header))
+        return qid
+
+    async def remove_query(self, qid: str) -> None:
+        """Broadcast removal of a standing query to every worker."""
+        header = {"now": self.topo.sim.now, "qop": "remove", "qid": qid}
+        for name in self.node_names:
+            await self._rpc(name, framing.QUERY, dict(header))
 
     async def _lockstep(self) -> None:
         sim = self.topo.sim

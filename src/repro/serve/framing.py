@@ -60,6 +60,10 @@ EPOCH = 11
 #: Worker -> coordinator reply to EPOCH: per-item op batches
 #: (``{"batches": [...]}``; blob = emitted wire frames).
 EPOCH_OPS = 12
+#: Coordinator -> worker: standing-query admission/removal against the
+#: worker's multi-query engine (``{"qop": "admit"|"remove", ...}``);
+#: replied with an empty OPS frame.
+QUERY = 13
 
 _LEN = struct.Struct("<I")
 _HEAD = struct.Struct("<BI")

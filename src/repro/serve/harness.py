@@ -21,6 +21,7 @@ import os
 import subprocess
 import sys
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -156,6 +157,20 @@ def _merge_trace(tracer: RunTracer,
     tracer.events.sort(key=lambda e: e.time)
 
 
+def _merge_queries(coord: Coordinator, result: RunResult) -> None:
+    """Fold worker FINAL standing-query accounts into the result.
+
+    Each worker ships only the accounts whose stream it owns (replicas
+    register every query but never feed foreign streams), so the merge
+    is collision-free; iterating ``node_names`` keeps the merged dict
+    in the simulator driver's admission order.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for name in coord.node_names:
+        merged.update(coord.finals[name].get("queries") or {})
+    result.queries = merged
+
+
 def _merge_results(coord: Coordinator) -> RunResult:
     """One :class:`RunResult` from the coordinator's applied state.
 
@@ -181,6 +196,7 @@ def _merge_results(coord: Coordinator) -> RunResult:
             for name in coord.node_names}
         result.sim_time = max(
             c[len(SUMMED_FIELDS) + 1] for c in counters.values())
+        _merge_queries(coord, result)
         return result
     finals = coord.finals
     result.outcomes = [
@@ -195,6 +211,7 @@ def _merge_results(coord: Coordinator) -> RunResult:
     result.node_busy_s = {
         name: finals[name]["result"]["busy_s"]
         for name in coord.node_names}
+    _merge_queries(coord, result)
     return result
 
 
@@ -229,10 +246,13 @@ async def _await_workers(coord: Coordinator,
                 raise
 
 
-def run_scheme_served(config: RunConfig,
-                      tracer: RunTracer | None = None,
-                      host: str = "127.0.0.1",
-                      mode: str = "epoch") -> ServeReport:
+def run_scheme_served(
+        config: RunConfig,
+        tracer: RunTracer | None = None,
+        host: str = "127.0.0.1",
+        mode: str = "epoch",
+        admissions: Sequence[tuple[str, str, int | None]] = (),
+) -> ServeReport:
     """Run one scheme on a real-process cluster; returns the report.
 
     Spawns one worker process per node (root + locals), runs the
@@ -242,8 +262,16 @@ def run_scheme_served(config: RunConfig,
     (default) executes conservative-lookahead epochs concurrently
     across workers; ``"lockstep"`` round-trips one kernel event at a
     time (the verification oracle's pace).
+
+    ``admissions`` are runtime standing-query admissions — ``(stream,
+    spec, at)`` triples the coordinator broadcasts to every worker
+    right after START, before any stream data flows (``at=None`` means
+    "from the node's current position").  Queries baked into
+    ``config.queries`` need no entry here; they are admitted by every
+    worker's own :func:`~repro.core.runner.make_context`.
     """
     coord = Coordinator(config, tracer, mode=mode)
+    coord.admissions = list(admissions)
     # Workers build their own tracer from the shipped config; a caller
     # who passed a tracer expects worker-side events too, so the flag
     # travels with the worker command line.

@@ -80,6 +80,8 @@ def config_from_json(payload: dict[str, Any]) -> RunConfig:
             f"{sorted(unknown)}")
     for key in ("local_profile", "root_profile"):
         data[key] = NodeProfile(**data[key])
+    if "queries" in data:
+        data["queries"] = tuple(data["queries"])
     return RunConfig(**data)
 
 

@@ -23,7 +23,8 @@ Environment:
   tests: the process hard-exits before replying to its ``n``-th
   dispatch, simulating a node crash mid-window.
 * ``REPRO_WIRE_CODEC`` / ``REPRO_AGG_INDEX`` / ``REPRO_WORKLOAD_CACHE``
-  are honoured exactly as in the simulator (the harness forwards them).
+  / ``REPRO_QUERY_SHARING`` are honoured exactly as in the simulator
+  (the harness forwards them).
 """
 
 from __future__ import annotations
@@ -275,6 +276,8 @@ class WorkerRuntime:
             self._run_timer(header["token"])
         elif kind == framing.DELIVER:
             self.node.deliver(self.codec.decode_message(bytes(blob)))
+        elif kind == framing.QUERY:
+            self._apply_query_op(header)
         else:
             raise ServeError(f"unexpected control frame kind {kind}")
         # Detect window emissions by result delta: behaviours append
@@ -288,6 +291,28 @@ class WorkerRuntime:
                              str(o.index) for o in
                              self.ctx.result.outcomes[before:]))
         return self.ops, bytes(self.opblob)
+
+    def _apply_query_op(self, header: dict[str, Any]) -> None:
+        """Admit or remove a standing query on this worker's engine.
+
+        The coordinator broadcasts QUERY frames to every worker with an
+        explicit query id, so all registries agree; each replica
+        registers the query, but only the stream's owner ever feeds its
+        engine and only the owner ships the account in FINAL.
+        """
+        from repro.core.multiquery import MultiQueryEngine
+        engine = self.ctx.engine
+        if engine is None:
+            engine = MultiQueryEngine(tracer=self.tracer)
+            self.ctx.engine = engine
+        qop = header.get("qop")
+        if qop == "admit":
+            engine.admit(header["stream"], header["spec"],
+                         at=header.get("at"), qid=header.get("qid"))
+        elif qop == "remove":
+            engine.remove(header["qid"])
+        else:
+            raise ServeError(f"unknown query op {qop!r}")
 
     # -- epoch dispatch ----------------------------------------------------
 
@@ -409,6 +434,14 @@ class WorkerRuntime:
                                      busy_s=self.node.metrics.busy_s),
             "trace": None,
         }
+        engine = self.ctx.engine
+        if engine is not None:
+            # Ship only the accounts whose stream this worker owns:
+            # replicas on other workers were registered (construction
+            # parity) but never fed.
+            payload["queries"] = {
+                qid: acct for qid, acct in engine.accounts_json().items()
+                if acct["stream"] == self.node_name}
         if self.tracer is not NULL_TRACER:
             payload["trace"] = {
                 "events": [[e.kind, e.time, e.node, e.dur, e.data]

@@ -20,6 +20,13 @@ the results bit-identical to a serial run:
 environment variable, then ``os.cpu_count()``.  ``jobs=1`` bypasses the
 process pool entirely and runs in-process, so a sweep stays trivially
 debuggable (breakpoints, pdb, exceptions with full local state).
+
+Standing queries sweep too: a :class:`RunConfig` with ``queries`` set
+admits those specs on every local stream, and each result carries the
+per-query accounts (``RunResult.queries``).  The sharing toggle
+(``REPRO_QUERY_SHARING``) is part of the propagated environment, so an
+A/B sweep of shared vs. unshared multi-query execution parallelizes
+like any other.
 """
 
 from __future__ import annotations
@@ -49,7 +56,7 @@ JOBS_ENV = "REPRO_JOBS"
 #: start-up.  The initializer pins the contract instead: every worker
 #: starts from the parent's values as of the moment the sweep ran.
 PROPAGATED_ENV = ("REPRO_WIRE_CODEC", "REPRO_AGG_INDEX",
-                  "REPRO_WORKLOAD_CACHE")
+                  "REPRO_WORKLOAD_CACHE", "REPRO_QUERY_SHARING")
 
 
 def snapshot_env() -> dict[str, str]:

@@ -34,7 +34,7 @@ class TestFramework:
         assert rule_codes == sorted(rule_codes)
         assert rule_codes == ["DL001", "DL002", "DL003", "DL004",
                               "DL005", "DL006", "DL007", "DL008",
-                              "DL009", "DL010"]
+                              "DL009", "DL010", "DL011"]
 
     def test_every_rule_has_docs(self):
         for rule in all_rules():
@@ -569,6 +569,65 @@ class TestDL010BlockingInMerge:
                "    time.sleep(0.1)\n")
         assert "DL010" not in codes(lint_source(src, SIM_PATH))
         assert "DL010" not in codes(lint_source(src, SCRIPT_PATH))
+
+
+class TestDL011PerQueryLiftLoops:
+    def test_fires_on_query_loop_with_lift_range(self):
+        src = ("def feed(self, batch):\n"
+               "    for q in self.queries:\n"
+               "        out = q.buffer.lift_range(0, 10)\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL011"]
+
+    def test_fires_on_scalar_lift_and_query_ish_iterable(self):
+        src = ("def feed(pipes):\n"
+               "    for pipe in query_pipes:\n"
+               "        v = pipe.scalar_lift(0, 10)\n")
+        assert codes(lint_source(src, CORE_PATH)) == ["DL011"]
+
+    def test_fires_in_baselines_scope(self):
+        src = ("def serve(queries, buf):\n"
+               "    for query in queries:\n"
+               "        buf.lift_range(0, query.length)\n")
+        path = "src/repro/baselines/fixture.py"
+        assert codes(lint_source(src, path)) == ["DL011"]
+
+    def test_line_suppression_honored(self):
+        src = ("def feed(self, batch):\n"
+               "    for q in self.queries:"
+               "  # decolint: disable=DL011\n"
+               "        out = q.buffer.lift_range(0, 10)\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_silent_on_non_query_loops(self):
+        src = ("def feed(self, batch):\n"
+               "    for buf in self.buffers:\n"
+               "        out = buf.lift_range(0, 10)\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_silent_on_query_loop_without_lifts(self):
+        src = ("def admit(self, queries):\n"
+               "    for q in queries:\n"
+               "        self.registry.add(q)\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_out_of_scope_paths_silent(self):
+        src = ("def feed(self, batch):\n"
+               "    for q in self.queries:\n"
+               "        out = q.buffer.lift_range(0, 10)\n")
+        assert "DL011" not in codes(
+            lint_source(src, "src/repro/serve/fixture.py"))
+        assert "DL011" not in codes(lint_source(src, SCRIPT_PATH))
+
+    def test_multiquery_suppression_is_honest(self):
+        """The engine's unshared A/B loop carries the only sanctioned
+        suppression — strip it and DL011 fires on that exact loop."""
+        path = REPO / "src" / "repro" / "core" / "multiquery.py"
+        src = path.read_text()
+        assert lint_source(src, str(path)) == []
+        stripped = src.replace("  # decolint: disable=DL011", "")
+        assert stripped != src
+        findings = lint_source(stripped, str(path))
+        assert codes(findings) == ["DL011"]
 
 
 class TestShippedTreeIsClean:
